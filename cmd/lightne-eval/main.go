@@ -1,0 +1,199 @@
+// Command lightne-eval evaluates a saved embedding on one of the paper's
+// downstream tasks.
+//
+// Node classification (labels file: "vertex class1 class2 ..." per line):
+//
+//	lightne-eval -task classify -embedding emb.txt -labels labels.txt -ratio 0.5
+//
+// Link prediction (edges file: held-out "u v" pairs):
+//
+//	lightne-eval -task linkpred -embedding emb.txt -test held_out.txt
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"lightne"
+	"lightne/internal/dense"
+)
+
+func main() {
+	var (
+		task      = flag.String("task", "classify", "evaluation task: classify or linkpred")
+		embFile   = flag.String("embedding", "", "embedding file (one row per vertex; required)")
+		labels    = flag.String("labels", "", "labels file for -task classify")
+		testFile  = flag.String("test", "", "held-out edges file for -task linkpred")
+		ratio     = flag.Float64("ratio", 0.5, "training ratio for classification")
+		seed      = flag.Uint64("seed", 1, "random seed")
+		negatives = flag.Int("negatives", 100, "corrupted candidates per positive (linkpred)")
+		exact     = flag.Bool("exact", false, "rank against every vertex instead of sampled candidates (linkpred; O(n) per edge)")
+	)
+	flag.Parse()
+	if *embFile == "" {
+		fmt.Fprintln(os.Stderr, "lightne-eval: -embedding is required")
+		os.Exit(2)
+	}
+	x, err := loadMatrix(*embFile)
+	if err != nil {
+		fatal(err)
+	}
+	switch *task {
+	case "classify":
+		if *labels == "" {
+			fatal(fmt.Errorf("-labels is required for classification"))
+		}
+		ls, numClasses, err := loadLabels(*labels, x.Rows)
+		if err != nil {
+			fatal(err)
+		}
+		res, err := lightne.NodeClassification(x, ls, numClasses, *ratio, *seed, lightne.DefaultTrainConfig())
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("train=%d test=%d Micro-F1=%.4f Macro-F1=%.4f\n",
+			res.TrainSize, res.TestSize, res.MicroF1, res.MacroF1)
+	case "linkpred":
+		if *testFile == "" {
+			fatal(fmt.Errorf("-test is required for link prediction"))
+		}
+		test, err := loadEdges(*testFile)
+		if err != nil {
+			fatal(err)
+		}
+		auc := lightne.AUC(x, test, *negatives, *seed)
+		var rank lightne.RankingResult
+		if *exact {
+			rank = lightne.ExactRanking(x, test, []int{1, 10, 50})
+		} else {
+			rank = lightne.Ranking(x, test, *negatives, []int{1, 10, 50}, *seed)
+		}
+		fmt.Printf("edges=%d AUC=%.4f MR=%.2f MRR=%.4f HITS@1=%.4f HITS@10=%.4f HITS@50=%.4f\n",
+			len(test), auc, rank.MR, rank.MRR, rank.Hits[1], rank.Hits[10], rank.Hits[50])
+	default:
+		fatal(fmt.Errorf("unknown task %q", *task))
+	}
+}
+
+func loadMatrix(path string) (*lightne.Matrix, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var data []float64
+	cols := -1
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	rows := 0
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) == 0 {
+			continue
+		}
+		if cols == -1 {
+			cols = len(fields)
+		} else if len(fields) != cols {
+			return nil, fmt.Errorf("row %d has %d columns, want %d", rows, len(fields), cols)
+		}
+		for _, fl := range fields {
+			v, err := strconv.ParseFloat(fl, 64)
+			if err != nil {
+				return nil, fmt.Errorf("row %d: %v", rows, err)
+			}
+			data = append(data, v)
+		}
+		rows++
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if rows == 0 {
+		return nil, fmt.Errorf("empty embedding file")
+	}
+	return dense.FromSlice(rows, cols, data), nil
+}
+
+func loadLabels(path string, n int) ([][]int, int, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, 0, err
+	}
+	defer f.Close()
+	labels := make([][]int, n)
+	numClasses := 0
+	if err := scanLines(f, func(fields []string) error {
+		v, err := strconv.Atoi(fields[0])
+		if err != nil || v < 0 || v >= n {
+			return fmt.Errorf("bad vertex %q", fields[0])
+		}
+		for _, cf := range fields[1:] {
+			c, err := strconv.Atoi(cf)
+			if err != nil || c < 0 {
+				return fmt.Errorf("bad class %q", cf)
+			}
+			labels[v] = append(labels[v], c)
+			if c+1 > numClasses {
+				numClasses = c + 1
+			}
+		}
+		return nil
+	}); err != nil {
+		return nil, 0, err
+	}
+	return labels, numClasses, nil
+}
+
+func loadEdges(path string) ([]lightne.Edge, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var edges []lightne.Edge
+	if err := scanLines(f, func(fields []string) error {
+		if len(fields) < 2 {
+			return fmt.Errorf("need two fields, got %v", fields)
+		}
+		u, err := strconv.ParseUint(fields[0], 10, 32)
+		if err != nil {
+			return err
+		}
+		v, err := strconv.ParseUint(fields[1], 10, 32)
+		if err != nil {
+			return err
+		}
+		edges = append(edges, lightne.Edge{U: uint32(u), V: uint32(v)})
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	return edges, nil
+}
+
+func scanLines(r io.Reader, fn func(fields []string) error) error {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || text[0] == '#' || text[0] == '%' {
+			continue
+		}
+		if err := fn(strings.Fields(text)); err != nil {
+			return fmt.Errorf("line %d: %w", line, err)
+		}
+	}
+	return sc.Err()
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "lightne-eval:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,172 @@
+// Command lightne embeds a graph from an edge-list file using the LightNE
+// pipeline and writes the embedding as text (one whitespace-separated row
+// per vertex).
+//
+// Usage:
+//
+//	lightne -input graph.txt -output emb.txt -dim 128 -T 10 -samples 1.0
+//
+// The input format is one "u v" pair per line; lines starting with '#' or
+// '%' are ignored. Per-stage timings are reported on stderr.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+
+	"lightne"
+)
+
+func main() {
+	var (
+		input      = flag.String("input", "", "edge-list file (required; '-' for stdin)")
+		output     = flag.String("output", "-", "output file for the embedding ('-' for stdout)")
+		dim        = flag.Int("dim", 128, "embedding dimension d")
+		window     = flag.Int("T", 10, "context window size T")
+		samples    = flag.Float64("samples", 1.0, "sample multiple: M = samples*T*m (0.1 = LightNE-Small, 20 = LightNE-Large)")
+		budgetMB   = flag.Int64("budget-mb", 0, "pick the largest M whose predicted memory fits this many MB (overrides -samples)")
+		seed       = flag.Uint64("seed", 1, "random seed")
+		skipProp   = flag.Bool("skip-propagation", false, "omit the spectral-propagation step (paper's very-large-graph mode)")
+		noDown     = flag.Bool("no-downsample", false, "disable edge downsampling (plain NetSMF sampling)")
+		compress   = flag.Bool("compress", false, "store the graph in Ligra+ parallel-byte compressed form")
+		weighted   = flag.Bool("weighted", false, "parse a third column as edge weight (\"u v w\" lines)")
+		binaryIn   = flag.Bool("binary-input", false, "read the LNG1 binary CSR format instead of text")
+		vertices   = flag.Int("n", 0, "vertex count (0 = infer from max ID)")
+		propOrder  = flag.Int("prop-order", 10, "spectral propagation polynomial order k")
+		oversample = flag.Int("oversample", 0, "extra randomized-SVD sketch columns")
+		powerIters = flag.Int("power-iters", 0, "randomized-SVD subspace iterations")
+	)
+	flag.Parse()
+	if *input == "" {
+		fmt.Fprintln(os.Stderr, "lightne: -input is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	in := os.Stdin
+	if *input != "-" {
+		f, err := os.Open(*input)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		in = f
+	}
+	opts := lightne.DefaultGraphOptions()
+	opts.Compress = *compress
+	var g *lightne.Graph
+	var err error
+	switch {
+	case *binaryIn:
+		g, err = lightne.LoadGraphBinary(bufio.NewReader(in), opts)
+	case *weighted:
+		if *compress {
+			fatal(fmt.Errorf("-weighted and -compress are mutually exclusive"))
+		}
+		g, err = lightne.LoadWeightedGraph(bufio.NewReader(in), *vertices)
+	default:
+		g, err = loadGraph(in, *vertices, opts)
+	}
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "loaded graph: %d vertices, %d undirected edges (adjacency %.1f MB%s)\n",
+		g.NumVertices(), g.NumEdges()/2, float64(g.SizeBytes())/1e6, compressedTag(*compress))
+
+	cfg := lightne.DefaultConfig(*dim)
+	cfg.T = *window
+	cfg.SampleMultiple = *samples
+	cfg.Seed = *seed
+	cfg.SkipPropagation = *skipProp
+	cfg.NoDownsample = *noDown
+	cfg.Propagation.Order = *propOrder
+	cfg.Oversample = *oversample
+	cfg.PowerIters = *powerIters
+
+	if *budgetMB > 0 {
+		m, err := lightne.MaxAffordableSamples(g, cfg, *budgetMB<<20)
+		if err != nil {
+			fatal(err)
+		}
+		cfg.M = m
+		fmt.Fprintf(os.Stderr, "budget %d MB affords M = %d samples (%.2f x T x m)\n",
+			*budgetMB, m, float64(m)/(float64(*window)*float64(g.NumEdges())/2))
+	}
+
+	res, err := lightne.Embed(g, cfg)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr,
+		"embedded: sparsifier %s (nnz %d, %d trials, %d heads), rSVD %s, propagation %s, total %s\n",
+		res.Timing.Sparsifier.Round(1e6), res.SparsifierNNZ,
+		res.SampleStats.Trials, res.SampleStats.Heads,
+		res.Timing.SVD.Round(1e6), res.Timing.Propagation.Round(1e6),
+		res.Timing.Total().Round(1e6))
+
+	out := os.Stdout
+	if *output != "-" {
+		f, err := os.Create(*output)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		out = f
+	}
+	w := bufio.NewWriter(out)
+	x := res.Embedding
+	for i := 0; i < x.Rows; i++ {
+		row := x.Row(i)
+		for j, v := range row {
+			if j > 0 {
+				if err := w.WriteByte(' '); err != nil {
+					fatal(err)
+				}
+			}
+			if _, err := fmt.Fprintf(w, "%.6g", v); err != nil {
+				fatal(err)
+			}
+		}
+		if err := w.WriteByte('\n'); err != nil {
+			fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		fatal(err)
+	}
+}
+
+func loadGraph(f *os.File, n int, opts lightne.GraphOptions) (*lightne.Graph, error) {
+	// LoadGraph always uses default options; apply compression by rebuilding
+	// through the generic constructor when requested.
+	g, err := lightne.LoadGraph(bufio.NewReader(f), n)
+	if err != nil {
+		return nil, err
+	}
+	if !opts.Compress {
+		return g, nil
+	}
+	var arcs []lightne.Edge
+	for u := 0; u < g.NumVertices(); u++ {
+		for _, v := range g.Neighbors(uint32(u), nil) {
+			if uint32(u) < v {
+				arcs = append(arcs, lightne.Edge{U: uint32(u), V: v})
+			}
+		}
+	}
+	return lightne.NewGraph(g.NumVertices(), arcs, opts)
+}
+
+func compressedTag(c bool) string {
+	if c {
+		return ", parallel-byte compressed"
+	}
+	return ""
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "lightne:", err)
+	os.Exit(1)
+}

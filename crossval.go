@@ -1,0 +1,77 @@
+package lightne
+
+import (
+	"fmt"
+)
+
+// CrossValidateT selects the context window size T by validation — the
+// paper's protocol for per-dataset configuration ("we set T = 5 by
+// cross-validation", §5.2.1/§5.2.2): for each candidate T the graph is
+// embedded and scored with Micro-F1 node classification on a held-out
+// split; the T with the best validation score wins (ties break toward the
+// smaller, cheaper T).
+//
+// The returned scores map records every candidate's Micro-F1 so callers
+// can inspect the whole curve.
+func CrossValidateT(g *Graph, labels [][]int, numClasses int, base Config, candidates []int, trainRatio float64, seed uint64) (bestT int, scores map[int]float64, err error) {
+	if len(candidates) == 0 {
+		return 0, nil, fmt.Errorf("lightne: no candidate T values")
+	}
+	scores = make(map[int]float64, len(candidates))
+	bestT = 0
+	best := -1.0
+	for _, t := range candidates {
+		if t <= 0 {
+			return 0, nil, fmt.Errorf("lightne: candidate T must be positive, got %d", t)
+		}
+		cfg := base
+		cfg.T = t
+		res, err := Embed(g, cfg)
+		if err != nil {
+			return 0, nil, fmt.Errorf("lightne: cross-validating T=%d: %w", t, err)
+		}
+		cr, err := NodeClassification(res.Embedding, labels, numClasses, trainRatio, seed, DefaultTrainConfig())
+		if err != nil {
+			return 0, nil, fmt.Errorf("lightne: scoring T=%d: %w", t, err)
+		}
+		scores[t] = cr.MicroF1
+		if cr.MicroF1 > best || (cr.MicroF1 == best && t < bestT) {
+			best = cr.MicroF1
+			bestT = t
+		}
+	}
+	return bestT, scores, nil
+}
+
+// CrossValidateLinkT is the link-prediction analog of CrossValidateT: each
+// candidate T is scored by AUC on held-out edges split from g (the
+// training graph excludes them, as in §5.2.1's protocol).
+func CrossValidateLinkT(g *Graph, base Config, candidates []int, testFrac float64, negatives int, seed uint64) (bestT int, scores map[int]float64, err error) {
+	if len(candidates) == 0 {
+		return 0, nil, fmt.Errorf("lightne: no candidate T values")
+	}
+	train, test, err := SplitEdges(g, testFrac, seed)
+	if err != nil {
+		return 0, nil, err
+	}
+	scores = make(map[int]float64, len(candidates))
+	best := -1.0
+	for _, t := range candidates {
+		if t <= 0 {
+			return 0, nil, fmt.Errorf("lightne: candidate T must be positive, got %d", t)
+		}
+		cfg := base
+		cfg.T = t
+		res, err := Embed(train, cfg)
+		if err != nil {
+			return 0, nil, fmt.Errorf("lightne: cross-validating T=%d: %w", t, err)
+		}
+		auc := AUC(res.Embedding, test, negatives, seed+1)
+		scores[t] = auc
+		if auc > best || (auc == best && t < bestT) {
+			best = auc
+			bestT = t
+		}
+	}
+	return bestT, scores, nil
+}

@@ -1,0 +1,68 @@
+package lightne_test
+
+import (
+	"testing"
+
+	"lightne"
+)
+
+func TestCrossValidateT(t *testing.T) {
+	ds, err := lightne.GenerateDataset("blogcatalog-like", 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := lightne.SmallConfig(16)
+	base.Seed = 3
+	bestT, scores, err := lightne.CrossValidateT(ds.Graph, ds.Labels.Of, ds.Labels.NumClasses,
+		base, []int{1, 5, 10}, 0.3, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(scores) != 3 {
+		t.Fatalf("scores for %d candidates, want 3", len(scores))
+	}
+	if _, ok := scores[bestT]; !ok {
+		t.Fatalf("best T=%d not among candidates", bestT)
+	}
+	for tt, s := range scores {
+		if s < 0 || s > 1 {
+			t.Fatalf("T=%d score %g out of range", tt, s)
+		}
+		if s > scores[bestT] {
+			t.Fatalf("T=%d scores %g above reported best %g", tt, s, scores[bestT])
+		}
+	}
+}
+
+func TestCrossValidateTErrors(t *testing.T) {
+	ds, err := lightne.GenerateDataset("blogcatalog-like", 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := lightne.SmallConfig(8)
+	if _, _, err := lightne.CrossValidateT(ds.Graph, ds.Labels.Of, ds.Labels.NumClasses, base, nil, 0.3, 1); err == nil {
+		t.Fatal("expected empty-candidates error")
+	}
+	if _, _, err := lightne.CrossValidateT(ds.Graph, ds.Labels.Of, ds.Labels.NumClasses, base, []int{0}, 0.3, 1); err == nil {
+		t.Fatal("expected non-positive T error")
+	}
+}
+
+func TestCrossValidateLinkT(t *testing.T) {
+	ds, err := lightne.GenerateDataset("livejournal-like", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := lightne.SmallConfig(16)
+	base.Seed = 5
+	bestT, scores, err := lightne.CrossValidateLinkT(ds.Graph, base, []int{1, 5}, 0.01, 20, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(scores) != 2 {
+		t.Fatalf("scores=%v", scores)
+	}
+	if scores[bestT] < scores[1] && scores[bestT] < scores[5] {
+		t.Fatal("best score not maximal")
+	}
+}

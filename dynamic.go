@@ -1,0 +1,18 @@
+package lightne
+
+import "lightne/internal/dynamic"
+
+// DynamicEmbedder maintains a LightNE embedding over a growing graph — the
+// streaming/dynamic setting the paper names as future work (§6). Edge
+// batches are sampled incrementally (cost proportional to the batch, not
+// the graph) and the cheap factorization + propagation re-runs on demand.
+type DynamicEmbedder = dynamic.Embedder
+
+// NewDynamicEmbedder builds a dynamic embedder over an initial graph,
+// performing the full LightNE sampling pass once. Subsequent AddEdges calls
+// sample only the new edges; Embed() recomputes the embedding from the
+// accumulated sparsifier; Staleness() tracks how much of the sample mass
+// predates the current graph, and Refresh() resamples from scratch.
+func NewDynamicEmbedder(g *Graph, cfg Config) (*DynamicEmbedder, error) {
+	return dynamic.New(g, cfg)
+}

@@ -1,0 +1,69 @@
+// Serving workflow (the paper's §1 motivation: embeddings "easily consumed
+// in downstream machine learning and recommendation algorithms"): embed a
+// community graph, quantize the embedding to int8 (8x smaller — the memory
+// that matters when millions of vectors stay resident for queries), and
+// compare top-k neighbor retrieval on the full-precision and quantized
+// forms.
+//
+//	go run ./examples/serving
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"lightne"
+)
+
+func main() {
+	ds, err := lightne.GenerateDataset("blogcatalog-like", 5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := lightne.DefaultConfig(32)
+	cfg.SampleMultiple = 5
+	cfg.Seed = 5
+	res, err := lightne.Embed(ds.Graph, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	x := res.Embedding
+
+	f32 := lightne.QuantizeFloat32(x)
+	i8 := lightne.QuantizeInt8(x)
+	raw := int64(len(x.Data) * 8)
+	fmt.Printf("embedding storage: float64 %.1f KB, float32 %.1f KB (%.1fx), int8 %.1f KB (%.1fx)\n",
+		float64(raw)/1e3,
+		float64(f32.MemoryBytes())/1e3, float64(raw)/float64(f32.MemoryBytes()),
+		float64(i8.MemoryBytes())/1e3, float64(raw)/float64(i8.MemoryBytes()))
+
+	// Compare top-5 retrieval between exact and int8 for a few queries.
+	const k = 5
+	agree := 0
+	total := 0
+	for _, q := range []uint32{0, 100, 500, 1000, 1500} {
+		exact, err := lightne.NearestNeighbors(x, q, k)
+		if err != nil {
+			log.Fatal(err)
+		}
+		approx, _, err := i8.TopK(int(q), k)
+		if err != nil {
+			log.Fatal(err)
+		}
+		exactSet := map[uint32]bool{}
+		for _, nb := range exact {
+			exactSet[nb.Vertex] = true
+		}
+		overlap := 0
+		for _, v := range approx {
+			if exactSet[uint32(v)] {
+				overlap++
+			}
+		}
+		agree += overlap
+		total += k
+		fmt.Printf("query %4d: top-%d overlap %d/%d (best exact neighbor %d, cosine %.3f)\n",
+			q, k, overlap, k, exact[0].Vertex, exact[0].Cosine)
+	}
+	fmt.Printf("overall top-%d agreement between float64 and int8: %d/%d\n", k, agree, total)
+}

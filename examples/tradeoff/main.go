@@ -1,0 +1,51 @@
+// Efficiency-effectiveness trade-off (the paper's Figure 2): sweep
+// LightNE's sample budget M from 0.1·Tm to 20·Tm and print the (time, F1)
+// curve, demonstrating that a user can dial cost against quality — and that
+// per-stage timings shift from SVD-bound to sampling-bound as M grows
+// (Table 5's story).
+//
+//	go run ./examples/tradeoff
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"lightne"
+)
+
+func main() {
+	ds, err := lightne.GenerateDataset("oag-like", 21)
+	if err != nil {
+		log.Fatal(err)
+	}
+	g, labels := ds.Graph, ds.Labels
+	fmt.Printf("dataset %s: %d vertices, %d edges\n", ds.Name, g.NumVertices(), g.NumEdges()/2)
+	fmt.Printf("%-8s %12s %12s %12s %12s %10s %10s\n",
+		"M/Tm", "sparsifier", "rSVD", "propagation", "total", "Micro-F1", "Macro-F1")
+
+	for _, mult := range []float64{0.1, 0.5, 1, 2, 5, 10, 20} {
+		cfg := lightne.DefaultConfig(32)
+		cfg.SampleMultiple = mult
+		cfg.Seed = 23
+		start := time.Now()
+		res, err := lightne.Embed(g, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		total := time.Since(start)
+		cr, err := lightne.NodeClassification(res.Embedding, labels.Of, labels.NumClasses,
+			0.10, 5, lightne.DefaultTrainConfig())
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-8g %12v %12v %12v %12v %9.2f%% %9.2f%%\n",
+			mult,
+			res.Timing.Sparsifier.Round(time.Millisecond),
+			res.Timing.SVD.Round(time.Millisecond),
+			res.Timing.Propagation.Round(time.Millisecond),
+			total.Round(time.Millisecond),
+			100*cr.MicroF1, 100*cr.MacroF1)
+	}
+}

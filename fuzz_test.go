@@ -1,0 +1,70 @@
+package lightne_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"lightne"
+	"lightne/internal/dense"
+)
+
+// FuzzReadEmbeddingText asserts the text embedding parser never panics and
+// only accepts rectangular numeric input.
+func FuzzReadEmbeddingText(f *testing.F) {
+	f.Add("1 2\n3 4\n")
+	f.Add("")
+	f.Add("1 2\n3\n")
+	f.Add("NaN Inf\n-Inf 0\n")
+	f.Add("1e308 1e-308\n2 3\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		x, err := lightne.ReadEmbeddingText(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		if x.Rows <= 0 || x.Cols <= 0 {
+			t.Fatal("accepted embedding with non-positive shape")
+		}
+		if len(x.Data) != x.Rows*x.Cols {
+			t.Fatal("data length inconsistent with shape")
+		}
+	})
+}
+
+// FuzzReadEmbeddingBinary asserts the binary reader rejects corruption
+// without panicking and roundtrips valid payloads.
+func FuzzReadEmbeddingBinary(f *testing.F) {
+	x := dense.NewMatrix(3, 2)
+	x.FillGaussian(1)
+	var buf bytes.Buffer
+	if err := lightne.WriteEmbeddingBinary(&buf, x); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add([]byte{})
+	f.Add([]byte("LNE1aaaaaaaaaaaa"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		y, err := lightne.ReadEmbeddingBinary(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if len(y.Data) != y.Rows*y.Cols {
+			t.Fatal("data length inconsistent with shape")
+		}
+	})
+}
+
+// FuzzLoadGraphPublic exercises the public loader boundary.
+func FuzzLoadGraphPublic(f *testing.F) {
+	f.Add("0 1\n2 3\n")
+	f.Add("0 1 0.5\n")
+	f.Add("99999999999999999999 1\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		if g, err := lightne.LoadGraph(strings.NewReader(input), 0); err == nil {
+			_ = g.NumEdges()
+		}
+		if g, err := lightne.LoadWeightedGraph(strings.NewReader(input), 0); err == nil {
+			_ = g.TotalWeight()
+		}
+	})
+}

@@ -1,0 +1,3 @@
+module lightne
+
+go 1.22

@@ -1,0 +1,217 @@
+// Package aggregate implements the sample-aggregation strategies LightNE
+// *considered* for building the sparsifier (paper §4.2, "We considered
+// several different techniques for this aggregation problem in the
+// shared-memory setting"):
+//
+//  1. per-worker edge lists merged with a sort-based sparse histogram
+//     (the GBBS histogram approach) — ListHistogram;
+//  2. per-worker hash tables merged at the end — PerWorkerTables;
+//  3. a single shared lock-free hash table with atomic xadd — SharedTable,
+//     a thin adapter over internal/hashtable, the design the paper (and
+//     this repository) ultimately selected.
+//
+// All three implement Aggregator and produce identical aggregates; the
+// benchmarks in bench_test.go reproduce the paper's conclusion that the
+// shared table is the fastest and most memory-efficient under realistic
+// sample streams.
+package aggregate
+
+import (
+	"sync"
+
+	"lightne/internal/hashtable"
+	"lightne/internal/par"
+	"lightne/internal/radix"
+)
+
+// Aggregator accumulates weighted directed-edge samples from concurrent
+// workers and drains the per-edge totals.
+type Aggregator interface {
+	// Add accumulates weight w onto (u, v) on behalf of the given worker
+	// (dense id in [0, workers)). Implementations differ in whether worker
+	// state is shared or private.
+	Add(worker int, u, v uint32, w float64)
+	// Drain returns the aggregated entries (unordered). Must not be called
+	// concurrently with Add.
+	Drain() (us, vs []uint32, ws []float64)
+	// MemoryBytes estimates the aggregation state's peak footprint.
+	MemoryBytes() int64
+}
+
+// record is one buffered sample in the list-based strategy.
+type record struct {
+	key uint64
+	w   float64
+}
+
+// ListHistogram buffers every sample in per-worker lists and aggregates at
+// drain time by sorting and run-length summing (the sparse-histogram
+// approach). Memory grows with the number of samples, not distinct edges —
+// the property that limited NetSMF's affordable sample count (§5.2.4).
+type ListHistogram struct {
+	lists [][]record
+}
+
+// NewListHistogram returns a list-based aggregator for the given worker
+// count.
+func NewListHistogram(workers int) *ListHistogram {
+	return &ListHistogram{lists: make([][]record, workers)}
+}
+
+// Add appends to the worker's private list: no synchronization at all.
+func (l *ListHistogram) Add(worker int, u, v uint32, w float64) {
+	l.lists[worker] = append(l.lists[worker], record{hashtable.Key(u, v), w})
+}
+
+// Drain concatenates all lists and aggregates with the parallel radix
+// group-sum (the semisort/partial-radix-sort step the paper cites, §4.2).
+func (l *ListHistogram) Drain() (us, vs []uint32, ws []float64) {
+	var total int
+	for _, lst := range l.lists {
+		total += len(lst)
+	}
+	keys := make([]uint64, 0, total)
+	vals := make([]float64, 0, total)
+	for _, lst := range l.lists {
+		for _, r := range lst {
+			keys = append(keys, r.key)
+			vals = append(vals, r.w)
+		}
+	}
+	n := radix.GroupSum(keys, vals)
+	us = make([]uint32, n)
+	vs = make([]uint32, n)
+	ws = make([]float64, n)
+	for i := 0; i < n; i++ {
+		us[i], vs[i] = hashtable.UnpackKey(keys[i])
+		ws[i] = vals[i]
+	}
+	return us, vs, ws
+}
+
+// MemoryBytes counts the buffered records (16 bytes each).
+func (l *ListHistogram) MemoryBytes() int64 {
+	var n int64
+	for _, lst := range l.lists {
+		n += int64(cap(lst)) * 16
+	}
+	return n
+}
+
+// PerWorkerTables keeps one private map per worker and merges at drain
+// time — NetSMF's strategy ("maintains a thread-local sparsifier in each
+// thread and merges them at the end", §5.2.4). Distinct edges sampled by
+// k workers are stored k times, the duplication the shared table avoids.
+type PerWorkerTables struct {
+	tables []map[uint64]float64
+}
+
+// NewPerWorkerTables returns a per-worker-map aggregator.
+func NewPerWorkerTables(workers int) *PerWorkerTables {
+	t := &PerWorkerTables{tables: make([]map[uint64]float64, workers)}
+	for i := range t.tables {
+		t.tables[i] = make(map[uint64]float64)
+	}
+	return t
+}
+
+// Add updates the worker's private map: no synchronization.
+func (t *PerWorkerTables) Add(worker int, u, v uint32, w float64) {
+	t.tables[worker][hashtable.Key(u, v)] += w
+}
+
+// Drain merges all maps.
+func (t *PerWorkerTables) Drain() (us, vs []uint32, ws []float64) {
+	merged := make(map[uint64]float64)
+	for _, m := range t.tables {
+		for k, w := range m {
+			merged[k] += w
+		}
+	}
+	for k, w := range merged {
+		u, v := hashtable.UnpackKey(k)
+		us = append(us, u)
+		vs = append(vs, v)
+		ws = append(ws, w)
+	}
+	return us, vs, ws
+}
+
+// MemoryBytes estimates map storage: ~48 bytes per entry per worker copy
+// (Go map overhead on a 16-byte payload).
+func (t *PerWorkerTables) MemoryBytes() int64 {
+	var n int64
+	for _, m := range t.tables {
+		n += int64(len(m)) * 48
+	}
+	return n
+}
+
+// SharedTable adapts internal/hashtable.Table to the Aggregator interface:
+// the design the paper selected.
+type SharedTable struct {
+	t *hashtable.Table
+}
+
+// NewSharedTable returns a shared-table aggregator presized for
+// capacityHint distinct edges.
+func NewSharedTable(capacityHint int) *SharedTable {
+	return &SharedTable{t: hashtable.New(capacityHint)}
+}
+
+// Add accumulates concurrently via CAS + xadd; the worker id is unused.
+func (s *SharedTable) Add(_ int, u, v uint32, w float64) {
+	s.t.Add(u, v, w)
+}
+
+// Drain returns the table's entries.
+func (s *SharedTable) Drain() (us, vs []uint32, ws []float64) {
+	return s.t.Drain()
+}
+
+// MemoryBytes returns the table footprint.
+func (s *SharedTable) MemoryBytes() int64 { return s.t.MemoryBytes() }
+
+// RunWorkload drives an aggregator with a deterministic synthetic sample
+// stream (nWorkers × perWorker samples over a keyspace with the given
+// number of distinct edges) and returns total drained weight. Used by
+// tests and benchmarks to compare strategies on identical input.
+func RunWorkload(agg Aggregator, workers, perWorker, distinct int, seed uint64) float64 {
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(id int) {
+			defer wg.Done()
+			s := newStream(seed, uint64(id))
+			for i := 0; i < perWorker; i++ {
+				k := s.next(distinct)
+				agg.Add(id, uint32(k), uint32(k>>4), 1)
+			}
+		}(w)
+	}
+	wg.Wait()
+	_, _, ws := agg.Drain()
+	var total float64
+	for _, w := range ws {
+		total += w
+	}
+	return total
+}
+
+// stream is a tiny deterministic generator decoupled from internal/rng to
+// keep this package's dependencies minimal.
+type stream struct{ state uint64 }
+
+func newStream(seed, id uint64) *stream {
+	return &stream{state: seed*0x9e3779b97f4a7c15 + id + 1}
+}
+
+func (s *stream) next(n int) int {
+	s.state ^= s.state << 13
+	s.state ^= s.state >> 7
+	s.state ^= s.state << 17
+	return int(s.state % uint64(n))
+}
+
+// Par ensures the package exposes the worker count used by benchmarks.
+func Par() int { return par.Workers() }

@@ -1,0 +1,109 @@
+package aggregate
+
+import (
+	"math"
+	"testing"
+
+	"lightne/internal/hashtable"
+)
+
+// drainMap converts a Drain result into a key→weight map for comparison.
+func drainMap(us, vs []uint32, ws []float64) map[uint64]float64 {
+	m := make(map[uint64]float64, len(us))
+	for i := range us {
+		m[hashtable.Key(us[i], vs[i])] += ws[i]
+	}
+	return m
+}
+
+func TestAllStrategiesAgree(t *testing.T) {
+	const workers, perWorker, distinct = 4, 20000, 700
+	aggs := map[string]Aggregator{
+		"list-histogram":    NewListHistogram(workers),
+		"per-worker-tables": NewPerWorkerTables(workers),
+		"shared-table":      NewSharedTable(distinct * 2),
+	}
+	results := map[string]map[uint64]float64{}
+	for name, agg := range aggs {
+		total := RunWorkload(agg, workers, perWorker, distinct, 7)
+		if math.Abs(total-workers*perWorker) > 1e-3 {
+			t.Fatalf("%s: total weight %.3f want %d", name, total, workers*perWorker)
+		}
+		us, vs, ws := drain(agg)
+		results[name] = drainMap(us, vs, ws)
+	}
+	ref := results["list-histogram"]
+	for name, got := range results {
+		if len(got) != len(ref) {
+			t.Fatalf("%s: %d distinct edges, reference %d", name, len(got), len(ref))
+		}
+		for k, w := range ref {
+			if math.Abs(got[k]-w) > 1e-3 {
+				t.Fatalf("%s: key %d weight %g want %g", name, k, got[k], w)
+			}
+		}
+	}
+}
+
+// drain re-drains an aggregator (all strategies here tolerate a second
+// drain returning the same data or empty; we re-run the workload instead).
+func drain(agg Aggregator) (us, vs []uint32, ws []float64) {
+	return agg.Drain()
+}
+
+func TestListHistogramSortsRuns(t *testing.T) {
+	l := NewListHistogram(2)
+	l.Add(0, 3, 1, 1)
+	l.Add(1, 1, 1, 2)
+	l.Add(0, 3, 1, 0.5)
+	us, vs, ws := l.Drain()
+	if len(us) != 2 {
+		t.Fatalf("distinct=%d want 2", len(us))
+	}
+	m := drainMap(us, vs, ws)
+	if math.Abs(m[hashtable.Key(3, 1)]-1.5) > 1e-12 {
+		t.Fatalf("merged weight wrong: %v", m)
+	}
+}
+
+func TestMemoryOrdering(t *testing.T) {
+	// The paper's §5.2.4 point: list memory scales with samples, shared
+	// table with distinct edges. With many samples over few edges the list
+	// strategy must report much higher memory.
+	const workers, perWorker, distinct = 4, 50000, 200
+	list := NewListHistogram(workers)
+	shared := NewSharedTable(distinct * 2)
+	RunWorkload(list, workers, perWorker, distinct, 3)
+	RunWorkload(shared, workers, perWorker, distinct, 3)
+	if list.MemoryBytes() < 10*shared.MemoryBytes() {
+		t.Fatalf("list memory %d not ≫ shared %d", list.MemoryBytes(), shared.MemoryBytes())
+	}
+	// Per-worker tables duplicate hot edges across workers.
+	pw := NewPerWorkerTables(workers)
+	RunWorkload(pw, workers, perWorker, distinct, 3)
+	us, _, _ := pw.Drain()
+	if len(us) != distinct {
+		t.Fatalf("per-worker drain found %d distinct, want %d", len(us), distinct)
+	}
+}
+
+func TestStreamDeterministic(t *testing.T) {
+	a := newStream(5, 1)
+	b := newStream(5, 1)
+	var seqA, seqB []int
+	for i := 0; i < 100; i++ {
+		seqA = append(seqA, a.next(1000))
+		seqB = append(seqB, b.next(1000))
+	}
+	for i := range seqA {
+		if seqA[i] != seqB[i] {
+			t.Fatal("stream not deterministic")
+		}
+	}
+}
+
+func TestParExposed(t *testing.T) {
+	if Par() < 1 {
+		t.Fatal("worker count must be positive")
+	}
+}

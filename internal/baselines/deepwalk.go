@@ -1,0 +1,231 @@
+// Package baselines implements the comparison systems of the paper's
+// evaluation on this repository's substrate:
+//
+//   - DeepWalk with Hogwild-style parallel SGD (the algorithm inside
+//     GraphVite's CPU-GPU system),
+//   - LINE second-order edge-sampling SGD (the algorithm inside
+//     PyTorch-BigGraph's configuration for LiveJournal),
+//   - NetMF-exact, the dense matrix factorization LightNE approximates, and
+//   - NetMF-no-log, a PPR-style factorization that skips the truncated
+//     logarithm — the paper's characterization of NRP (§2), used as its
+//     stand-in.
+//
+// These make the paper's cross-system comparisons reproducible on one
+// machine: all systems share the same graph substrate and evaluation stack,
+// so relative quality and runtime shapes are meaningful.
+package baselines
+
+import (
+	"fmt"
+	"math"
+
+	"lightne/internal/dense"
+	"lightne/internal/graph"
+	"lightne/internal/par"
+	"lightne/internal/rng"
+)
+
+// DeepWalkConfig controls the DeepWalk baseline.
+type DeepWalkConfig struct {
+	Dim          int
+	WalksPerNode int     // γ (default 10)
+	WalkLength   int     // L (default 40)
+	Window       int     // T (default 5)
+	Negatives    int     // K (default 5)
+	Epochs       int     // passes over the walk corpus (default 1)
+	LearningRate float64 // initial SGD step (default 0.025)
+	Seed         uint64
+}
+
+// DefaultDeepWalk returns the conventional hyper-parameters at dimension d.
+func DefaultDeepWalk(d int) DeepWalkConfig {
+	return DeepWalkConfig{Dim: d, WalksPerNode: 10, WalkLength: 40, Window: 5,
+		Negatives: 5, Epochs: 1, LearningRate: 0.025}
+}
+
+// negTable is a unigram^{3/4} negative-sampling table (word2vec style).
+type negTable struct {
+	table []uint32
+}
+
+func newNegTable(g *graph.Graph, size int) *negTable {
+	n := g.NumVertices()
+	if size < n {
+		size = n
+	}
+	weights := make([]float64, n)
+	var total float64
+	for v := 0; v < n; v++ {
+		w := math.Pow(g.Strength(uint32(v)), 0.75) // weighted degree; = Degree when unweighted
+		weights[v] = w
+		total += w
+	}
+	t := make([]uint32, size)
+	if total == 0 {
+		for i := range t {
+			t[i] = uint32(i % n)
+		}
+		return &negTable{t}
+	}
+	v, acc := 0, weights[0]/total
+	for i := range t {
+		target := (float64(i) + 0.5) / float64(size)
+		for acc < target && v < n-1 {
+			v++
+			acc += weights[v] / total
+		}
+		t[i] = uint32(v)
+	}
+	return &negTable{t}
+}
+
+func (nt *negTable) sample(src *rng.Source) uint32 {
+	return nt.table[src.Intn(len(nt.table))]
+}
+
+// sgnsUpdate applies one skip-gram-negative-sampling step between center u
+// and context v with k negatives, Hogwild-style (races tolerated).
+func sgnsUpdate(in, out *dense.Matrix, u, v uint32, k int, lr float64, nt *negTable, src *rng.Source, grad []float64) {
+	wu := in.Row(int(u))
+	for j := range grad {
+		grad[j] = 0
+	}
+	step := func(target uint32, label float64) {
+		wv := out.Row(int(target))
+		var z float64
+		for j := range wu {
+			z += wu[j] * wv[j]
+		}
+		g := lr * (label - sigmoid(z))
+		for j := range wu {
+			grad[j] += g * wv[j]
+			wv[j] += g * wu[j]
+		}
+	}
+	step(v, 1)
+	for i := 0; i < k; i++ {
+		neg := nt.sample(src)
+		if neg == v {
+			continue
+		}
+		step(neg, 0)
+	}
+	for j := range wu {
+		wu[j] += grad[j]
+	}
+}
+
+func sigmoid(z float64) float64 {
+	if z > 8 {
+		return 1
+	}
+	if z < -8 {
+		return 0
+	}
+	return 1 / (1 + math.Exp(-z))
+}
+
+// DeepWalk trains a DeepWalk embedding with parallel asynchronous SGD and
+// returns the input-vector matrix.
+func DeepWalk(g *graph.Graph, cfg DeepWalkConfig) (*dense.Matrix, error) {
+	if cfg.Dim <= 0 {
+		return nil, fmt.Errorf("baselines: dimension must be positive")
+	}
+	if g.NumEdges() == 0 {
+		return nil, fmt.Errorf("baselines: graph has no edges")
+	}
+	applyDeepWalkDefaults(&cfg)
+	n := g.NumVertices()
+	in := dense.NewMatrix(n, cfg.Dim)
+	out := dense.NewMatrix(n, cfg.Dim)
+	initEmbedding(in, cfg.Seed)
+	nt := newNegTable(g, 1<<20)
+
+	totalWalks := cfg.Epochs * cfg.WalksPerNode * n
+	done := 0
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		for w := 0; w < cfg.WalksPerNode; w++ {
+			round := uint64(epoch*cfg.WalksPerNode + w)
+			par.ForRange(n, 64, func(lo, hi int) {
+				var src rng.Source
+				walk := make([]uint32, cfg.WalkLength)
+				grad := make([]float64, cfg.Dim)
+				for start := lo; start < hi; start++ {
+					src.Seed(cfg.Seed^0x5ca1ab1e, round*uint64(n)+uint64(start))
+					if g.Degree(uint32(start)) == 0 {
+						continue
+					}
+					// Simulate the walk.
+					cur := uint32(start)
+					for s := 0; s < cfg.WalkLength; s++ {
+						walk[s] = cur
+						nxt, ok := g.RandomNeighbor(cur, &src)
+						if !ok {
+							break
+						}
+						cur = nxt
+					}
+					// Linear LR decay over the corpus.
+					progress := float64(done+start-lo) / float64(totalWalks*1)
+					lr := cfg.LearningRate * (1 - progress)
+					if lr < cfg.LearningRate*0.0001 {
+						lr = cfg.LearningRate * 0.0001
+					}
+					for c := 0; c < cfg.WalkLength; c++ {
+						loC := c - cfg.Window
+						hiC := c + cfg.Window
+						if loC < 0 {
+							loC = 0
+						}
+						if hiC >= cfg.WalkLength {
+							hiC = cfg.WalkLength - 1
+						}
+						for t := loC; t <= hiC; t++ {
+							if t == c {
+								continue
+							}
+							sgnsUpdate(in, out, walk[c], walk[t], cfg.Negatives, lr, nt, &src, grad)
+						}
+					}
+				}
+			})
+			done += n
+		}
+	}
+	return in, nil
+}
+
+func applyDeepWalkDefaults(cfg *DeepWalkConfig) {
+	if cfg.WalksPerNode <= 0 {
+		cfg.WalksPerNode = 10
+	}
+	if cfg.WalkLength <= 0 {
+		cfg.WalkLength = 40
+	}
+	if cfg.Window <= 0 {
+		cfg.Window = 5
+	}
+	if cfg.Negatives <= 0 {
+		cfg.Negatives = 5
+	}
+	if cfg.Epochs <= 0 {
+		cfg.Epochs = 1
+	}
+	if cfg.LearningRate <= 0 {
+		cfg.LearningRate = 0.025
+	}
+}
+
+// initEmbedding fills in with small uniform noise (word2vec convention).
+func initEmbedding(m *dense.Matrix, seed uint64) {
+	par.ForRange(m.Rows, 64, func(lo, hi int) {
+		var src rng.Source
+		for i := lo; i < hi; i++ {
+			src.Seed(seed^0xfeedface, uint64(i))
+			row := m.Row(i)
+			for j := range row {
+				row[j] = (src.Float64() - 0.5) / float64(m.Cols)
+			}
+		}
+	})
+}

@@ -1,0 +1,99 @@
+package baselines
+
+import (
+	"fmt"
+	"math"
+
+	"lightne/internal/dense"
+	"lightne/internal/graph"
+	"lightne/internal/sparse"
+	"lightne/internal/svd"
+)
+
+// NetMFConfig controls the exact (dense) NetMF baseline and the no-log
+// NRP stand-in.
+type NetMFConfig struct {
+	T          int     // context window (default 10)
+	Dim        int     // embedding dimension
+	NegSamples float64 // b (default 1)
+	Seed       uint64
+	// SkipLog omits the truncated logarithm, yielding the PPR-style
+	// factorization the paper attributes to NRP (§2). Quality suffers —
+	// that is the point of the comparison.
+	SkipLog bool
+}
+
+// NetMFExact materializes the full NetMF matrix (paper Eq. 1) densely and
+// factorizes it. O(n²·T) time and O(n²) memory: only feasible for small
+// graphs, which is exactly why NetSMF/LightNE exist.
+func NetMFExact(g *graph.Graph, cfg NetMFConfig) (*dense.Matrix, error) {
+	if cfg.Dim <= 0 {
+		return nil, fmt.Errorf("baselines: dimension must be positive")
+	}
+	if cfg.T <= 0 {
+		cfg.T = 10
+	}
+	b := cfg.NegSamples
+	if b <= 0 {
+		b = 1
+	}
+	n := g.NumVertices()
+	if n == 0 || g.NumEdges() == 0 {
+		return nil, fmt.Errorf("baselines: graph has no edges")
+	}
+	if g.Weighted() {
+		return nil, fmt.Errorf("baselines: NetMF-exact materializes A as 0/1 and requires an unweighted graph")
+	}
+	if n > 20000 {
+		return nil, fmt.Errorf("baselines: NetMF-exact needs O(n²) memory; n=%d is too large", n)
+	}
+	deg := g.Degrees()
+	p := dense.NewMatrix(n, n)
+	g.MapEdges(func(u, v uint32) {
+		p.Set(int(u), int(v), 1/deg[u])
+	})
+	sum := dense.NewMatrix(n, n)
+	cur := dense.NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		cur.Set(i, i, 1)
+	}
+	for r := 1; r <= cfg.T; r++ {
+		next := dense.NewMatrix(n, n)
+		dense.MatMul(next, cur, p)
+		cur = next
+		for i := range sum.Data {
+			sum.Data[i] += cur.Data[i]
+		}
+	}
+	vol := g.Volume()
+	// Entry (i, j) of the pre-log matrix: vol/(bT)·Σ_r (P^r)_{ij} / d_j.
+	var us, vs []uint32
+	var ws []float64
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			v := vol / (b * float64(cfg.T)) * sum.At(i, j) / deg[j]
+			if cfg.SkipLog {
+				if v > 0 {
+					us = append(us, uint32(i))
+					vs = append(vs, uint32(j))
+					ws = append(ws, v)
+				}
+				continue
+			}
+			if v > 1 {
+				us = append(us, uint32(i))
+				vs = append(vs, uint32(j))
+				ws = append(ws, math.Log(v))
+			}
+		}
+	}
+	mat, err := sparse.FromCOO(n, n, us, vs, ws)
+	if err != nil {
+		return nil, err
+	}
+	res, err := svd.RandomizedSVD(mat, cfg.Dim, svd.Options{Seed: cfg.Seed, Oversample: 8, PowerIters: 2})
+	if err != nil {
+		return nil, err
+	}
+	return svd.EmbedFromSVD(res), nil
+}

@@ -1,0 +1,173 @@
+package baselines
+
+import (
+	"fmt"
+
+	"lightne/internal/dense"
+	"lightne/internal/graph"
+	"lightne/internal/par"
+	"lightne/internal/rng"
+)
+
+// Node2VecConfig controls the node2vec baseline: DeepWalk with
+// second-order biased walks (Grover & Leskovec, KDD'16) — the third
+// skip-gram-family method the paper's related work lists (§2) and that
+// NetMF's theory unifies with DeepWalk and LINE.
+type Node2VecConfig struct {
+	Dim          int
+	WalksPerNode int
+	WalkLength   int
+	Window       int
+	Negatives    int
+	LearningRate float64
+	// P is the return parameter (likelihood of revisiting the previous
+	// vertex scales as 1/P); Q is the in-out parameter (BFS-like for Q > 1,
+	// DFS-like for Q < 1). P = Q = 1 degenerates to DeepWalk.
+	P, Q float64
+	Seed uint64
+}
+
+// DefaultNode2Vec returns conventional hyper-parameters at dimension d.
+func DefaultNode2Vec(d int) Node2VecConfig {
+	return Node2VecConfig{Dim: d, WalksPerNode: 10, WalkLength: 40, Window: 5,
+		Negatives: 5, LearningRate: 0.025, P: 1, Q: 0.5}
+}
+
+// node2vecStep draws the next vertex of a biased walk from cur given prev,
+// by rejection sampling (Zhou et al.'s approach): propose a uniform
+// neighbor, accept with probability proportional to its bias (1/P for
+// returning to prev, 1 for neighbors of prev, 1/Q otherwise). Rejection
+// keeps the step O(expected tries) without precomputing O(Σ d_u²) alias
+// tables — the memory blow-up that makes exact node2vec impractical at
+// LightNE's scales.
+func node2vecStep(g *graph.Graph, prev, cur uint32, p, q float64, src *rng.Source) (uint32, bool) {
+	d := g.Degree(cur)
+	if d == 0 {
+		return 0, false
+	}
+	upper := 1.0
+	if 1/p > upper {
+		upper = 1 / p
+	}
+	if 1/q > upper {
+		upper = 1 / q
+	}
+	for try := 0; try < 64; try++ {
+		cand := g.Neighbor(cur, src.Intn(d))
+		var bias float64
+		switch {
+		case cand == prev:
+			bias = 1 / p
+		case hasEdge(g, prev, cand):
+			bias = 1
+		default:
+			bias = 1 / q
+		}
+		if src.Float64()*upper < bias {
+			return cand, true
+		}
+	}
+	// Pathological rejection streak: fall back to an unbiased step.
+	return g.Neighbor(cur, src.Intn(d)), true
+}
+
+// hasEdge reports whether (u, v) is an arc, by binary search over u's
+// sorted neighbor list.
+func hasEdge(g *graph.Graph, u, v uint32) bool {
+	lo, hi := 0, g.Degree(u)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		w := g.Neighbor(u, mid)
+		switch {
+		case w == v:
+			return true
+		case w < v:
+			lo = mid + 1
+		default:
+			hi = mid
+		}
+	}
+	return false
+}
+
+// Node2Vec trains a node2vec embedding: biased second-order walks feeding
+// the same skip-gram-with-negative-sampling trainer as DeepWalk.
+func Node2Vec(g *graph.Graph, cfg Node2VecConfig) (*dense.Matrix, error) {
+	if cfg.Dim <= 0 {
+		return nil, fmt.Errorf("baselines: dimension must be positive")
+	}
+	if g.NumEdges() == 0 {
+		return nil, fmt.Errorf("baselines: graph has no edges")
+	}
+	if cfg.P <= 0 || cfg.Q <= 0 {
+		return nil, fmt.Errorf("baselines: p and q must be positive")
+	}
+	if g.Weighted() {
+		return nil, fmt.Errorf("baselines: node2vec's bias rejection assumes uniform proposals and requires an unweighted graph")
+	}
+	dw := DeepWalkConfig{Dim: cfg.Dim, WalksPerNode: cfg.WalksPerNode,
+		WalkLength: cfg.WalkLength, Window: cfg.Window, Negatives: cfg.Negatives,
+		LearningRate: cfg.LearningRate}
+	applyDeepWalkDefaults(&dw)
+
+	n := g.NumVertices()
+	in := dense.NewMatrix(n, dw.Dim)
+	out := dense.NewMatrix(n, dw.Dim)
+	initEmbedding(in, cfg.Seed)
+	nt := newNegTable(g, 1<<20)
+
+	totalWalks := dw.WalksPerNode * n
+	done := 0
+	for w := 0; w < dw.WalksPerNode; w++ {
+		round := uint64(w)
+		par.ForRange(n, 64, func(lo, hi int) {
+			var src rng.Source
+			walk := make([]uint32, dw.WalkLength)
+			grad := make([]float64, dw.Dim)
+			for start := lo; start < hi; start++ {
+				src.Seed(cfg.Seed^0x2042ec, round*uint64(n)+uint64(start))
+				if g.Degree(uint32(start)) == 0 {
+					continue
+				}
+				// First step is unbiased; later steps are second-order.
+				cur := uint32(start)
+				walk[0] = cur
+				length := 1
+				if nxt, ok := g.RandomNeighbor(cur, &src); ok {
+					walk[1] = nxt
+					length = 2
+					for s := 2; s < dw.WalkLength; s++ {
+						nxt, ok := node2vecStep(g, walk[s-2], walk[s-1], cfg.P, cfg.Q, &src)
+						if !ok {
+							break
+						}
+						walk[s] = nxt
+						length++
+					}
+				}
+				progress := float64(done+start-lo) / float64(totalWalks)
+				lr := dw.LearningRate * (1 - progress)
+				if lr < dw.LearningRate*0.0001 {
+					lr = dw.LearningRate * 0.0001
+				}
+				for c := 0; c < length; c++ {
+					loC, hiC := c-dw.Window, c+dw.Window
+					if loC < 0 {
+						loC = 0
+					}
+					if hiC >= length {
+						hiC = length - 1
+					}
+					for t := loC; t <= hiC; t++ {
+						if t == c {
+							continue
+						}
+						sgnsUpdate(in, out, walk[c], walk[t], dw.Negatives, lr, nt, &src, grad)
+					}
+				}
+			}
+		})
+		done += n
+	}
+	return in, nil
+}

@@ -1,0 +1,269 @@
+// Package compress implements the Ligra+ parallel-byte adjacency format used
+// by GBBS and adopted by LightNE for storing very large graphs in memory
+// (paper §4.1, "Compression").
+//
+// A vertex's sorted neighbor list is split into blocks of BlockSize
+// neighbors. Within a block, the first neighbor is difference-encoded
+// against the source vertex using a signed (zigzag) varint; subsequent
+// neighbors are difference-encoded against their predecessor using unsigned
+// varints. Because every block is decodable independently given the source,
+// high-degree vertices decode in parallel, and fetching the i-th neighbor
+// only requires decoding one block — the property LightNE's random walks
+// depend on. Per-vertex data is laid out as:
+//
+//	[block offset table: (numBlocks-1) × uint32] [block 0][block 1]...
+//
+// where each offset is relative to the end of the offset table (block 0
+// always starts at relative offset 0, so it is omitted).
+package compress
+
+import (
+	"fmt"
+	"math/bits"
+
+	"lightne/internal/par"
+)
+
+// DefaultBlockSize is the neighbors-per-block setting. The paper selected 64
+// after measuring the trade-off between compressed size and the latency of
+// fetching an arbitrary incident edge (§4.2).
+const DefaultBlockSize = 64
+
+// Adjacency is a compressed adjacency structure for an n-vertex graph.
+type Adjacency struct {
+	degrees    []uint32
+	vtxOffsets []uint64 // len n+1; byte offset of each vertex's region in data
+	data       []byte
+	blockSize  int
+}
+
+// zigzag encodes a signed difference as an unsigned value.
+func zigzag(x int64) uint64 { return uint64(x<<1) ^ uint64(x>>63) }
+
+// unzigzag inverts zigzag.
+func unzigzag(u uint64) int64 { return int64(u>>1) ^ -int64(u&1) }
+
+// varintLen returns the encoded length in bytes of v as a LEB128 varint.
+func varintLen(v uint64) int {
+	if v == 0 {
+		return 1
+	}
+	return (bits.Len64(v) + 6) / 7
+}
+
+// putVarint appends v to dst in LEB128 form and returns the extended slice
+// position (number of bytes written).
+func putVarint(dst []byte, v uint64) int {
+	i := 0
+	for v >= 0x80 {
+		dst[i] = byte(v) | 0x80
+		v >>= 7
+		i++
+	}
+	dst[i] = byte(v)
+	return i + 1
+}
+
+// getVarint decodes a LEB128 varint starting at data[pos] and returns the
+// value and the new position.
+func getVarint(data []byte, pos int) (uint64, int) {
+	var v uint64
+	var shift uint
+	for {
+		b := data[pos]
+		pos++
+		v |= uint64(b&0x7f) << shift
+		if b < 0x80 {
+			return v, pos
+		}
+		shift += 7
+	}
+}
+
+// encodedSize returns the number of bytes vertex u's sorted neighbor list
+// occupies under the format, including its block offset table.
+func encodedSize(u uint32, neighbors []uint32, blockSize int) int {
+	d := len(neighbors)
+	if d == 0 {
+		return 0
+	}
+	numBlocks := (d + blockSize - 1) / blockSize
+	size := 4 * (numBlocks - 1) // offset table
+	for b := 0; b < numBlocks; b++ {
+		lo := b * blockSize
+		hi := lo + blockSize
+		if hi > d {
+			hi = d
+		}
+		size += varintLen(zigzag(int64(neighbors[lo]) - int64(u)))
+		for i := lo + 1; i < hi; i++ {
+			size += varintLen(uint64(neighbors[i] - neighbors[i-1]))
+		}
+	}
+	return size
+}
+
+// encodeInto writes vertex u's neighbor list into dst (which must have
+// exactly encodedSize bytes) and returns the bytes written.
+func encodeInto(dst []byte, u uint32, neighbors []uint32, blockSize int) int {
+	d := len(neighbors)
+	if d == 0 {
+		return 0
+	}
+	numBlocks := (d + blockSize - 1) / blockSize
+	tab := 4 * (numBlocks - 1)
+	pos := tab
+	for b := 0; b < numBlocks; b++ {
+		if b > 0 {
+			rel := uint32(pos - tab)
+			dst[4*(b-1)] = byte(rel)
+			dst[4*(b-1)+1] = byte(rel >> 8)
+			dst[4*(b-1)+2] = byte(rel >> 16)
+			dst[4*(b-1)+3] = byte(rel >> 24)
+		}
+		lo := b * blockSize
+		hi := lo + blockSize
+		if hi > d {
+			hi = d
+		}
+		pos += putVarint(dst[pos:], zigzag(int64(neighbors[lo])-int64(u)))
+		for i := lo + 1; i < hi; i++ {
+			pos += putVarint(dst[pos:], uint64(neighbors[i]-neighbors[i-1]))
+		}
+	}
+	return pos
+}
+
+// Build compresses a CSR graph given by offsets (len n+1) and edges, where
+// each vertex's neighbor slice edges[offsets[u]:offsets[u+1]] must be sorted
+// ascending. blockSize <= 0 selects DefaultBlockSize. Encoding runs in
+// parallel over vertices (a size pass, a prefix scan, then an encode pass).
+func Build(offsets []int64, edges []uint32, blockSize int) (*Adjacency, error) {
+	if blockSize <= 0 {
+		blockSize = DefaultBlockSize
+	}
+	n := len(offsets) - 1
+	if n < 0 {
+		return nil, fmt.Errorf("compress: offsets must have at least one element")
+	}
+	a := &Adjacency{
+		degrees:    make([]uint32, n),
+		vtxOffsets: make([]uint64, n+1),
+		blockSize:  blockSize,
+	}
+	sizes := make([]int64, n)
+	var buildErr error
+	par.For(n, 256, func(u int) {
+		lo, hi := offsets[u], offsets[u+1]
+		nbrs := edges[lo:hi]
+		for i := 1; i < len(nbrs); i++ {
+			if nbrs[i] < nbrs[i-1] {
+				buildErr = fmt.Errorf("compress: neighbors of vertex %d not sorted", u)
+				return
+			}
+		}
+		a.degrees[u] = uint32(hi - lo)
+		sizes[u] = int64(encodedSize(uint32(u), nbrs, blockSize))
+	})
+	if buildErr != nil {
+		return nil, buildErr
+	}
+	total := par.ExclusiveScan(sizes)
+	for u := 0; u < n; u++ {
+		a.vtxOffsets[u] = uint64(sizes[u])
+	}
+	a.vtxOffsets[n] = uint64(total)
+	a.data = make([]byte, total)
+	par.For(n, 256, func(u int) {
+		lo, hi := offsets[u], offsets[u+1]
+		start, end := a.vtxOffsets[u], a.vtxOffsets[u+1]
+		encodeInto(a.data[start:end], uint32(u), edges[lo:hi], blockSize)
+	})
+	return a, nil
+}
+
+// NumVertices returns the number of vertices.
+func (a *Adjacency) NumVertices() int { return len(a.degrees) }
+
+// Degree returns the out-degree of u.
+func (a *Adjacency) Degree(u uint32) uint32 { return a.degrees[u] }
+
+// SizeBytes returns the total compressed payload size (neighbor data plus
+// per-vertex tables), used for compression-ratio reporting.
+func (a *Adjacency) SizeBytes() int64 {
+	return int64(len(a.data)) + int64(len(a.vtxOffsets))*8 + int64(len(a.degrees))*4
+}
+
+// BlockSize returns the configured neighbors-per-block.
+func (a *Adjacency) BlockSize() int { return a.blockSize }
+
+// region returns the encoded bytes and block-table length for vertex u,
+// along with its degree. ok is false for degree-0 vertices.
+func (a *Adjacency) region(u uint32) (data []byte, tab int, d int, ok bool) {
+	d = int(a.degrees[u])
+	if d == 0 {
+		return nil, 0, 0, false
+	}
+	numBlocks := (d + a.blockSize - 1) / a.blockSize
+	tab = 4 * (numBlocks - 1)
+	return a.data[a.vtxOffsets[u]:a.vtxOffsets[u+1]], tab, d, true
+}
+
+// Decode calls fn for every neighbor of u in ascending order.
+func (a *Adjacency) Decode(u uint32, fn func(v uint32)) {
+	data, tab, d, ok := a.region(u)
+	if !ok {
+		return
+	}
+	pos := tab
+	remaining := d
+	for remaining > 0 {
+		cnt := a.blockSize
+		if cnt > remaining {
+			cnt = remaining
+		}
+		raw, p := getVarint(data, pos)
+		pos = p
+		v := uint32(int64(u) + unzigzag(raw))
+		fn(v)
+		for i := 1; i < cnt; i++ {
+			diff, p := getVarint(data, pos)
+			pos = p
+			v += uint32(diff)
+			fn(v)
+		}
+		remaining -= cnt
+	}
+}
+
+// Nth returns the i-th neighbor (0-based, ascending order) of u. It decodes
+// only the block containing index i — the operation LightNE's random-walk
+// step relies on (paper §4.2). Panics if i is out of range.
+func (a *Adjacency) Nth(u uint32, i int) uint32 {
+	data, tab, d, ok := a.region(u)
+	if !ok || i < 0 || i >= d {
+		panic(fmt.Sprintf("compress: neighbor index %d out of range for vertex %d (degree %d)", i, u, d))
+	}
+	block := i / a.blockSize
+	pos := tab
+	if block > 0 {
+		off := block - 1
+		rel := uint32(data[4*off]) | uint32(data[4*off+1])<<8 | uint32(data[4*off+2])<<16 | uint32(data[4*off+3])<<24
+		pos = tab + int(rel)
+	}
+	raw, p := getVarint(data, pos)
+	pos = p
+	v := uint32(int64(u) + unzigzag(raw))
+	for k := block*a.blockSize + 1; k <= i; k++ {
+		diff, p := getVarint(data, pos)
+		pos = p
+		v += uint32(diff)
+	}
+	return v
+}
+
+// Neighbors appends u's neighbors to dst and returns the extended slice.
+func (a *Adjacency) Neighbors(u uint32, dst []uint32) []uint32 {
+	a.Decode(u, func(v uint32) { dst = append(dst, v) })
+	return dst
+}

@@ -1,0 +1,190 @@
+package compress
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+// buildCSR converts per-vertex neighbor slices into (offsets, edges).
+func buildCSR(adj [][]uint32) ([]int64, []uint32) {
+	offsets := make([]int64, len(adj)+1)
+	var edges []uint32
+	for u, nbrs := range adj {
+		offsets[u+1] = offsets[u] + int64(len(nbrs))
+		edges = append(edges, nbrs...)
+	}
+	return offsets, edges
+}
+
+func mustBuild(t *testing.T, adj [][]uint32, blockSize int) *Adjacency {
+	t.Helper()
+	offsets, edges := buildCSR(adj)
+	a, err := Build(offsets, edges, blockSize)
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	return a
+}
+
+func TestRoundtripSmall(t *testing.T) {
+	adj := [][]uint32{
+		{1, 2, 3},
+		{0, 2},
+		{0, 1, 3},
+		{0, 2},
+		{}, // isolated vertex
+	}
+	a := mustBuild(t, adj, 2)
+	if a.NumVertices() != 5 {
+		t.Fatalf("NumVertices=%d", a.NumVertices())
+	}
+	for u, want := range adj {
+		if int(a.Degree(uint32(u))) != len(want) {
+			t.Fatalf("Degree(%d)=%d want %d", u, a.Degree(uint32(u)), len(want))
+		}
+		got := a.Neighbors(uint32(u), nil)
+		if len(got) != len(want) {
+			t.Fatalf("vertex %d: got %v want %v", u, got, want)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("vertex %d: got %v want %v", u, got, want)
+			}
+			if nth := a.Nth(uint32(u), i); nth != want[i] {
+				t.Fatalf("Nth(%d,%d)=%d want %d", u, i, nth, want[i])
+			}
+		}
+	}
+}
+
+func TestRoundtripRandomGraphs(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 20; trial++ {
+		n := 1 + r.Intn(300)
+		blockSize := 1 + r.Intn(100)
+		adj := make([][]uint32, n)
+		for u := range adj {
+			d := r.Intn(200)
+			if d > n {
+				d = n // cannot draw more distinct neighbors than vertices
+			}
+			set := map[uint32]bool{}
+			for len(set) < d {
+				set[uint32(r.Intn(n))] = true
+			}
+			for v := range set {
+				adj[u] = append(adj[u], v)
+			}
+			sort.Slice(adj[u], func(i, j int) bool { return adj[u][i] < adj[u][j] })
+		}
+		a := mustBuild(t, adj, blockSize)
+		for u, want := range adj {
+			got := a.Neighbors(uint32(u), nil)
+			if len(got) != len(want) {
+				t.Fatalf("trial %d vertex %d: len %d want %d", trial, u, len(got), len(want))
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("trial %d vertex %d idx %d: got %d want %d", trial, u, i, got[i], want[i])
+				}
+			}
+			// Spot check Nth on a few random indices.
+			for k := 0; k < 3 && len(want) > 0; k++ {
+				i := r.Intn(len(want))
+				if nth := a.Nth(uint32(u), i); nth != want[i] {
+					t.Fatalf("trial %d Nth(%d,%d)=%d want %d", trial, u, i, nth, want[i])
+				}
+			}
+		}
+	}
+}
+
+func TestDuplicateNeighborsAllowed(t *testing.T) {
+	// Multigraph edges (duplicates) encode as zero diffs and must roundtrip.
+	adj := [][]uint32{{5, 5, 5, 7, 7}, {}, {}, {}, {}, {0}, {}, {0}}
+	a := mustBuild(t, adj, 2)
+	got := a.Neighbors(0, nil)
+	want := []uint32{5, 5, 5, 7, 7}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v want %v", got, want)
+		}
+	}
+	if a.Nth(0, 4) != 7 {
+		t.Fatalf("Nth(0,4)=%d", a.Nth(0, 4))
+	}
+}
+
+func TestUnsortedRejected(t *testing.T) {
+	offsets := []int64{0, 2}
+	edges := []uint32{3, 1}
+	if _, err := Build(offsets, edges, 0); err == nil {
+		t.Fatal("expected error for unsorted neighbors")
+	}
+}
+
+func TestEmptyGraph(t *testing.T) {
+	a, err := Build([]int64{0}, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.NumVertices() != 0 {
+		t.Fatalf("NumVertices=%d", a.NumVertices())
+	}
+}
+
+func TestNthPanicsOutOfRange(t *testing.T) {
+	a := mustBuild(t, [][]uint32{{1}, {0}}, 0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	a.Nth(0, 1)
+}
+
+func TestVarintRoundtripProperty(t *testing.T) {
+	f := func(v uint64) bool {
+		buf := make([]byte, 10)
+		n := putVarint(buf, v)
+		if n != varintLen(v) {
+			return false
+		}
+		got, pos := getVarint(buf, 0)
+		return got == v && pos == n
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestZigzagRoundtripProperty(t *testing.T) {
+	f := func(v int64) bool { return unzigzag(zigzag(v)) == v }
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCompressionShrinksCluteredNeighborhoods(t *testing.T) {
+	// Neighbors close to the source compress to ~1 byte each vs 4 raw.
+	n := 10000
+	adj := make([][]uint32, n)
+	for u := 0; u < n; u++ {
+		for k := -8; k <= 8; k++ {
+			v := u + k
+			if v >= 0 && v < n && v != u {
+				adj[u] = append(adj[u], uint32(v))
+			}
+		}
+	}
+	a := mustBuild(t, adj, 0)
+	var rawBytes int64
+	for _, nbrs := range adj {
+		rawBytes += int64(4 * len(nbrs))
+	}
+	if int64(len(a.data)) >= rawBytes/2 {
+		t.Fatalf("compressed payload %d not < half of raw %d", len(a.data), rawBytes)
+	}
+}

@@ -1,0 +1,163 @@
+// Package core implements the LightNE pipeline (paper §3.2): Step 1 runs
+// NetSMF with edge downsampling to factorize a sparse estimate of the NetMF
+// matrix, and Step 2 enhances the resulting embedding with ProNE's spectral
+// propagation. Per-stage wall-clock timing is recorded to reproduce the
+// paper's running-time breakdown (Table 5).
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"lightne/internal/dense"
+	"lightne/internal/graph"
+	"lightne/internal/netsmf"
+	"lightne/internal/prone"
+	"lightne/internal/sampler"
+)
+
+// Config controls a LightNE run.
+type Config struct {
+	// T is the context window size (paper default 10; the paper's
+	// cross-validated choices are 5 for LiveJournal/Hyperlink-PLD, 1 for
+	// Friendster, 2 for the 100B-edge graphs).
+	T int
+	// SampleMultiple sets M = SampleMultiple·T·m. The paper's presets are
+	// 0.1 (LightNE-Small) and 20 (LightNE-Large). Ignored if M > 0.
+	SampleMultiple float64
+	// M optionally fixes the number of PathSampling trials directly.
+	M int64
+	// Dim is the embedding dimension d (paper: 128 for task graphs, 32 for
+	// the 100B-edge graphs).
+	Dim int
+	// NegSamples is b (default 1).
+	NegSamples float64
+	// NoDownsample disables LightNE's edge downsampling (for ablations;
+	// the zero value keeps downsampling on, as LightNE always runs with it).
+	NoDownsample bool
+	// C overrides the downsampling constant (<= 0 → log n).
+	C float64
+	// SkipPropagation omits Step 2, as the paper does for the very large
+	// graphs (§5.3).
+	SkipPropagation bool
+	// Propagation parameterizes Step 2; zero value → ProNE defaults.
+	Propagation prone.PropagationConfig
+	// Seed fixes all randomness.
+	Seed uint64
+	// Oversample and PowerIters tune the randomized SVD (0,0 = paper).
+	Oversample int
+	PowerIters int
+	// BatchedWalks selects the radix-batched walk schedule (paper §4.2
+	// future work); unweighted graphs only.
+	BatchedWalks bool
+}
+
+// DefaultConfig returns the paper's default configuration at dimension d:
+// T = 10, M = 1·T·m, downsampling on, spectral propagation on.
+func DefaultConfig(d int) Config {
+	return Config{T: 10, SampleMultiple: 1, Dim: d, NegSamples: 1,
+		Propagation: prone.DefaultPropagation()}
+}
+
+// SmallConfig is the paper's LightNE-Small preset (M = 0.1·T·m).
+func SmallConfig(d int) Config {
+	c := DefaultConfig(d)
+	c.SampleMultiple = 0.1
+	return c
+}
+
+// LargeConfig is the paper's LightNE-Large preset (M = 20·T·m).
+func LargeConfig(d int) Config {
+	c := DefaultConfig(d)
+	c.SampleMultiple = 20
+	return c
+}
+
+// Timing is the three-stage breakdown reported in Table 5.
+type Timing struct {
+	Sparsifier  time.Duration
+	SVD         time.Duration
+	Propagation time.Duration
+}
+
+// Total returns the end-to-end time.
+func (t Timing) Total() time.Duration { return t.Sparsifier + t.SVD + t.Propagation }
+
+// Result bundles the embedding with diagnostics.
+type Result struct {
+	// Embedding is the final n×d embedding.
+	Embedding *dense.Matrix
+	// Initial is the NetSMF embedding before spectral propagation (equal to
+	// Embedding when propagation is skipped).
+	Initial *dense.Matrix
+	// Sigma holds the singular values of the factorized sparsifier.
+	Sigma []float64
+	// SparsifierNNZ counts nonzeros in the trunc-logged sparsifier.
+	SparsifierNNZ int64
+	// SampleStats reports the Step-1 sampling pass.
+	SampleStats sampler.Stats
+	// Timing is the per-stage breakdown.
+	Timing Timing
+}
+
+// Embed runs LightNE on g.
+func Embed(g *graph.Graph, cfg Config) (*Result, error) {
+	if cfg.Dim <= 0 {
+		return nil, fmt.Errorf("lightne: dimension must be positive, got %d", cfg.Dim)
+	}
+	if cfg.T <= 0 {
+		return nil, fmt.Errorf("lightne: window size T must be positive, got %d", cfg.T)
+	}
+	m := cfg.M
+	if m <= 0 {
+		mult := cfg.SampleMultiple
+		if mult <= 0 {
+			mult = 1
+		}
+		m = netsmf.MFromMultiple(g, cfg.T, mult)
+	}
+
+	nres, err := netsmf.Run(g, netsmf.Config{
+		T:            cfg.T,
+		M:            m,
+		Dim:          cfg.Dim,
+		NegSamples:   cfg.NegSamples,
+		Downsample:   !cfg.NoDownsample,
+		C:            cfg.C,
+		Seed:         cfg.Seed,
+		Oversample:   cfg.Oversample,
+		PowerIters:   cfg.PowerIters,
+		BatchedWalks: cfg.BatchedWalks,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	res := &Result{
+		Embedding:     nres.Embedding,
+		Initial:       nres.Embedding,
+		Sigma:         nres.Sigma,
+		SparsifierNNZ: nres.SparsifierNNZ,
+		SampleStats:   nres.SampleStats,
+		Timing: Timing{
+			Sparsifier: nres.Timing.Sparsifier,
+			SVD:        nres.Timing.SVD,
+		},
+	}
+	if cfg.SkipPropagation {
+		return res, nil
+	}
+
+	prop := cfg.Propagation
+	if prop.Order == 0 {
+		prop = prone.DefaultPropagation()
+	}
+	start := time.Now()
+	enhanced, err := prone.Propagate(g, nres.Embedding, prop)
+	if err != nil {
+		return nil, fmt.Errorf("lightne: propagation: %w", err)
+	}
+	res.Timing.Propagation = time.Since(start)
+	res.Embedding = enhanced
+	return res, nil
+}

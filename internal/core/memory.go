@@ -1,0 +1,149 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"lightne/internal/graph"
+	"lightne/internal/sampler"
+)
+
+// MemoryEstimate predicts the peak memory of an Embed run — the planning
+// arithmetic behind the paper's evaluation, where sample counts are pushed
+// "until it reaches the 1.5TB memory bottleneck" (§5.3) and the affordable
+// M under a budget decides embedding quality (Figure 3, §5.2.4).
+type MemoryEstimate struct {
+	// Trials is the configured sample count M.
+	Trials int64
+	// ExpectedHeads is E[# samples surviving the downsampling coin].
+	ExpectedHeads int64
+	// TableBytes is the hash-table footprint at 7/8 load (power-of-two
+	// slots, 16 bytes each, two oriented keys per head upper bound).
+	TableBytes int64
+	// SparsifierBytes is the CSR holding the drained, trunc-logged matrix.
+	SparsifierBytes int64
+	// DenseBytes covers the randomized-SVD sketch matrices and the
+	// propagation workspace.
+	DenseBytes int64
+	// GraphBytes is the adjacency storage.
+	GraphBytes int64
+}
+
+// Total sums all components. Table and sparsifier coexist briefly during
+// the drain, so the sum is the honest peak.
+func (m MemoryEstimate) Total() int64 {
+	return m.TableBytes + m.SparsifierBytes + m.DenseBytes + m.GraphBytes
+}
+
+// expectedHeadFraction computes E[p_e] over directed arcs for the config's
+// downsampling constant (1 when downsampling is off). O(m).
+func expectedHeadFraction(g *graph.Graph, cfg Config) float64 {
+	if cfg.NoDownsample {
+		return 1
+	}
+	c := cfg.C
+	if c <= 0 {
+		c = math.Log(float64(g.NumVertices()))
+		if c < 1 {
+			c = 1
+		}
+	}
+	strengths := g.Strengths()
+	var sum float64
+	n := g.NumVertices()
+	for ui := 0; ui < n; ui++ {
+		u := uint32(ui)
+		d := g.Degree(u)
+		for i := 0; i < d; i++ {
+			v := g.Neighbor(u, i)
+			sum += sampler.ProbW(c, g.EdgeWeight(u, i), strengths[ui], strengths[v])
+		}
+	}
+	if arcs := float64(g.NumEdges()); arcs > 0 {
+		return sum / arcs
+	}
+	return 1
+}
+
+// EstimateMemory predicts an Embed run's peak memory without running it.
+// Estimates are upper-bound-flavored (they treat every head as a distinct
+// sparsifier entry); realized usage is typically 2-4x lower on graphs with
+// heavy sample collision.
+func EstimateMemory(g *graph.Graph, cfg Config) (MemoryEstimate, error) {
+	if cfg.Dim <= 0 || cfg.T <= 0 {
+		return MemoryEstimate{}, fmt.Errorf("lightne: dimension and T must be positive")
+	}
+	m := cfg.M
+	if m <= 0 {
+		mult := cfg.SampleMultiple
+		if mult <= 0 {
+			mult = 1
+		}
+		m = int64(mult * float64(cfg.T) * float64(g.NumEdges()) / 2)
+	}
+	frac := expectedHeadFraction(g, cfg)
+	heads := int64(float64(m) * frac)
+	// Two oriented keys per head, capped by the number of possible entries.
+	entries := 2 * heads
+	slots := nextPow2(float64(entries) * 8 / 7)
+	est := MemoryEstimate{
+		Trials:          m,
+		ExpectedHeads:   heads,
+		TableBytes:      slots * 16,
+		SparsifierBytes: entries*12 + int64(g.NumVertices()+1)*8,
+		GraphBytes:      g.SizeBytes(),
+	}
+	// Randomized SVD keeps ~5 dense n×k float64 matrices (O, Y, B, Z and a
+	// temporary); propagation keeps ~4 n×d.
+	k := cfg.Dim + cfg.Oversample
+	est.DenseBytes = int64(g.NumVertices()) * int64(k) * 8 * 5
+	if !cfg.SkipPropagation {
+		est.DenseBytes += int64(g.NumVertices()) * int64(cfg.Dim) * 8 * 4
+	}
+	return est, nil
+}
+
+// MaxAffordableSamples inverts EstimateMemory: the largest M whose
+// predicted Total fits the byte budget — the quantity the paper's §5.2.4
+// ablation reports (8Tm for NetSMF, 12.5Tm without downsampling, 20Tm with
+// it, under 1.5TB). Returns an error if even M = 1 does not fit.
+func MaxAffordableSamples(g *graph.Graph, cfg Config, budgetBytes int64) (int64, error) {
+	if budgetBytes <= 0 {
+		return 0, fmt.Errorf("lightne: budget must be positive")
+	}
+	fits := func(m int64) bool {
+		c := cfg
+		c.M = m
+		est, err := EstimateMemory(g, c)
+		if err != nil {
+			return false
+		}
+		return est.Total() <= budgetBytes
+	}
+	if !fits(1) {
+		return 0, fmt.Errorf("lightne: fixed costs alone exceed the %d-byte budget", budgetBytes)
+	}
+	// Exponential search then binary search on M.
+	lo, hi := int64(1), int64(2)
+	for fits(hi) && hi < 1<<50 {
+		lo, hi = hi, hi*2
+	}
+	for lo+1 < hi {
+		mid := lo + (hi-lo)/2
+		if fits(mid) {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return lo, nil
+}
+
+// nextPow2 rounds up to a power of two (as the hash table does).
+func nextPow2(x float64) int64 {
+	p := int64(1)
+	for float64(p) < x {
+		p <<= 1
+	}
+	return p
+}

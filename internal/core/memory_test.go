@@ -1,0 +1,127 @@
+package core
+
+import (
+	"testing"
+
+	"lightne/internal/gen"
+	"lightne/internal/netsmf"
+)
+
+func TestEstimateMemoryBracketsReality(t *testing.T) {
+	g, _, err := gen.SBM(gen.SBMConfig{N: 1500, Communities: 6, PIn: 0.05, POut: 0.003, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig(16)
+	cfg.T = 5
+	cfg.SampleMultiple = 2
+	cfg.Seed = 3
+	est, err := EstimateMemory(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := netsmf.Run(g, netsmf.Config{
+		T: cfg.T, M: est.Trials, Dim: cfg.Dim, Downsample: true, Seed: cfg.Seed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Heads prediction within 10% (it is an expectation, not a bound).
+	gotHeads := float64(res.SampleStats.Heads)
+	if gotHeads < 0.9*float64(est.ExpectedHeads) || gotHeads > 1.1*float64(est.ExpectedHeads) {
+		t.Fatalf("heads %d outside 10%% of estimate %d", res.SampleStats.Heads, est.ExpectedHeads)
+	}
+	// Table bytes: estimate must be an upper bound within a small factor.
+	if res.SampleStats.TableBytes > est.TableBytes {
+		t.Fatalf("realized table %d exceeds estimate %d", res.SampleStats.TableBytes, est.TableBytes)
+	}
+	if est.TableBytes > 8*res.SampleStats.TableBytes {
+		t.Fatalf("estimate %d too loose vs realized %d", est.TableBytes, res.SampleStats.TableBytes)
+	}
+	if est.Total() <= 0 || est.GraphBytes <= 0 || est.DenseBytes <= 0 {
+		t.Fatalf("incomplete estimate: %+v", est)
+	}
+}
+
+func TestEstimateMemoryNoDownsample(t *testing.T) {
+	g, _, err := gen.SBM(gen.SBMConfig{N: 500, Communities: 4, PIn: 0.08, POut: 0.005, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig(8)
+	cfg.SampleMultiple = 1
+	with, err := EstimateMemory(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.NoDownsample = true
+	without, err := EstimateMemory(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if without.ExpectedHeads < with.ExpectedHeads {
+		t.Fatal("downsampling must not increase expected heads")
+	}
+	if without.ExpectedHeads != without.Trials {
+		t.Fatal("without downsampling every trial is a head")
+	}
+}
+
+func TestMaxAffordableSamples(t *testing.T) {
+	g, _, err := gen.SBM(gen.SBMConfig{N: 800, Communities: 4, PIn: 0.06, POut: 0.004, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig(16)
+	budget := int64(64 << 20) // 64 MB
+	m, err := MaxAffordableSamples(g, cfg, budget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m < 1 {
+		t.Fatalf("affordable samples %d", m)
+	}
+	// The returned M must fit; M+1... the next power-of-two step must not.
+	c := cfg
+	c.M = m
+	est, err := EstimateMemory(g, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.Total() > budget {
+		t.Fatalf("returned M=%d does not fit: %d > %d", m, est.Total(), budget)
+	}
+	c.M = 2 * m
+	est2, err := EstimateMemory(g, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est2.Total() <= budget {
+		t.Fatalf("doubling M still fits (%d <= %d): search stopped early", est2.Total(), budget)
+	}
+	// A bigger budget affords at least as many samples.
+	m2, err := MaxAffordableSamples(g, cfg, 4*budget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m2 < m {
+		t.Fatalf("larger budget affords fewer samples: %d < %d", m2, m)
+	}
+	// Paper shape: downsampling raises the affordable sample count.
+	noDown := cfg
+	noDown.NoDownsample = true
+	mNoDown, err := MaxAffordableSamples(g, noDown, budget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mNoDown > m {
+		t.Fatalf("downsampling should raise affordable M: %d (on) vs %d (off)", m, mNoDown)
+	}
+	// Impossible budget errors.
+	if _, err := MaxAffordableSamples(g, cfg, 10); err == nil {
+		t.Fatal("expected error for absurd budget")
+	}
+	if _, err := MaxAffordableSamples(g, cfg, 0); err == nil {
+		t.Fatal("expected error for zero budget")
+	}
+}

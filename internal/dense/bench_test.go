@@ -1,0 +1,57 @@
+package dense
+
+import "testing"
+
+func benchMatMul(b *testing.B, n, k, m int) {
+	a := NewMatrix(n, k)
+	a.FillGaussian(1)
+	x := NewMatrix(k, m)
+	x.FillGaussian(2)
+	c := NewMatrix(n, m)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MatMul(c, a, x)
+	}
+	b.SetBytes(int64(8 * (n*k + k*m + n*m)))
+}
+
+func BenchmarkMatMulTallSkinny(b *testing.B)  { benchMatMul(b, 4096, 128, 128) }
+func BenchmarkMatMulSquareSmall(b *testing.B) { benchMatMul(b, 128, 128, 128) }
+
+func BenchmarkMatMulATB(b *testing.B) {
+	n, d := 4096, 128
+	x := NewMatrix(n, d)
+	x.FillGaussian(1)
+	c := NewMatrix(d, d)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MatMulATB(c, x, x)
+	}
+}
+
+func BenchmarkQRTallSkinny(b *testing.B) {
+	a := NewMatrix(4096, 64)
+	a.FillGaussian(3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		QR(a)
+	}
+}
+
+func BenchmarkSVDSmall(b *testing.B) {
+	a := NewMatrix(128, 128)
+	a.FillGaussian(4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		SVD(a)
+	}
+}
+
+func BenchmarkFillGaussian(b *testing.B) {
+	a := NewMatrix(1024, 128)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a.FillGaussian(uint64(i))
+	}
+	b.SetBytes(int64(8 * len(a.Data)))
+}

@@ -1,0 +1,196 @@
+// Package dense provides the dense linear-algebra kernels LightNE obtains
+// from Intel MKL in the paper (§4.3): parallel matrix-matrix products
+// (cblas_sgemm), Householder QR with explicit Q formation (LAPACKE_sgeqrf +
+// LAPACKE_sorgqr), a small dense SVD (LAPACKE_sgesvd), and Gaussian random
+// matrix generation (vsRngGaussian).
+//
+// Matrices are row-major float64. The embedding pipelines only ever run
+// dense kernels on tall-skinny (n×d) or tiny (d×d) operands with d ≤ a few
+// hundred, so the implementations favor clarity and robustness: blocked
+// ikj-order GEMM parallelized over rows, classic Householder QR, and
+// one-sided Jacobi SVD (unconditionally convergent, high relative accuracy).
+package dense
+
+import (
+	"fmt"
+	"math"
+
+	"lightne/internal/par"
+	"lightne/internal/rng"
+)
+
+// Matrix is a row-major dense matrix.
+type Matrix struct {
+	Rows, Cols int
+	Data       []float64 // len Rows*Cols, row i at Data[i*Cols : (i+1)*Cols]
+}
+
+// NewMatrix allocates a zero matrix.
+func NewMatrix(rows, cols int) *Matrix {
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("dense: negative dimension %dx%d", rows, cols))
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
+}
+
+// FromSlice wraps existing data (not copied) as a rows×cols matrix.
+func FromSlice(rows, cols int, data []float64) *Matrix {
+	if len(data) != rows*cols {
+		panic(fmt.Sprintf("dense: data length %d != %d*%d", len(data), rows, cols))
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: data}
+}
+
+// At returns element (i, j).
+func (m *Matrix) At(i, j int) float64 { return m.Data[i*m.Cols+j] }
+
+// Set assigns element (i, j).
+func (m *Matrix) Set(i, j int, v float64) { m.Data[i*m.Cols+j] = v }
+
+// Row returns a mutable view of row i.
+func (m *Matrix) Row(i int) []float64 { return m.Data[i*m.Cols : (i+1)*m.Cols] }
+
+// Clone returns a deep copy.
+func (m *Matrix) Clone() *Matrix {
+	c := NewMatrix(m.Rows, m.Cols)
+	copy(c.Data, m.Data)
+	return c
+}
+
+// Zero sets every element to 0.
+func (m *Matrix) Zero() {
+	for i := range m.Data {
+		m.Data[i] = 0
+	}
+}
+
+// Transpose returns mᵀ as a new matrix.
+func (m *Matrix) Transpose() *Matrix {
+	t := NewMatrix(m.Cols, m.Rows)
+	par.For(m.Rows, 64, func(i int) {
+		row := m.Row(i)
+		for j, v := range row {
+			t.Data[j*t.Cols+i] = v
+		}
+	})
+	return t
+}
+
+// Scale multiplies every element by s.
+func (m *Matrix) Scale(s float64) {
+	par.For(len(m.Data), 1<<14, func(i int) { m.Data[i] *= s })
+}
+
+// FrobeniusNorm returns sqrt(sum of squares).
+func (m *Matrix) FrobeniusNorm() float64 {
+	s := par.ReduceFloat64(len(m.Data), 1<<14, func(i int) float64 { return m.Data[i] * m.Data[i] })
+	return math.Sqrt(s)
+}
+
+// MaxAbs returns the largest absolute element value (0 for empty matrices).
+func (m *Matrix) MaxAbs() float64 {
+	var best float64
+	for _, v := range m.Data {
+		if a := math.Abs(v); a > best {
+			best = a
+		}
+	}
+	return best
+}
+
+// FillGaussian fills m with independent N(0,1) draws. Rows use distinct RNG
+// streams derived from seed, so the result is deterministic under any
+// parallel schedule. This replaces MKL's vsRngGaussian.
+func (m *Matrix) FillGaussian(seed uint64) {
+	par.ForRange(m.Rows, 16, func(lo, hi int) {
+		var src rng.Source
+		for i := lo; i < hi; i++ {
+			src.Seed(seed, uint64(i))
+			src.FillNorm(m.Row(i))
+		}
+	})
+}
+
+// MatMul computes C = A·B. C must be preallocated with shape
+// (A.Rows × B.Cols) and is overwritten. Parallel over rows of A with
+// ikj loop order (streams rows of B, cache friendly for row-major).
+// This is the cblas_sgemm stand-in.
+func MatMul(c, a, b *Matrix) {
+	if a.Cols != b.Rows || c.Rows != a.Rows || c.Cols != b.Cols {
+		panic(fmt.Sprintf("dense: MatMul shape mismatch (%dx%d)·(%dx%d)->(%dx%d)",
+			a.Rows, a.Cols, b.Rows, b.Cols, c.Rows, c.Cols))
+	}
+	par.For(a.Rows, 8, func(i int) {
+		ci := c.Row(i)
+		for j := range ci {
+			ci[j] = 0
+		}
+		ai := a.Row(i)
+		for k, aik := range ai {
+			if aik == 0 {
+				continue
+			}
+			bk := b.Row(k)
+			for j, bkj := range bk {
+				ci[j] += aik * bkj
+			}
+		}
+	})
+}
+
+// MatMulATB computes C = Aᵀ·B where A is n×p and B is n×q, producing p×q.
+// Parallelized over blocks of shared rows with per-worker accumulators,
+// then reduced; the accumulation order is deterministic.
+func MatMulATB(c, a, b *Matrix) {
+	if a.Rows != b.Rows || c.Rows != a.Cols || c.Cols != b.Cols {
+		panic(fmt.Sprintf("dense: MatMulATB shape mismatch (%dx%d)ᵀ·(%dx%d)->(%dx%d)",
+			a.Rows, a.Cols, b.Rows, b.Cols, c.Rows, c.Cols))
+	}
+	p, q := a.Cols, b.Cols
+	workers := par.Workers()
+	partials := make([][]float64, workers)
+	used := make([]bool, workers)
+	par.WorkerFor(a.Rows, 32, func(w, lo, hi int) {
+		if partials[w] == nil {
+			partials[w] = make([]float64, p*q)
+		}
+		used[w] = true
+		acc := partials[w]
+		for i := lo; i < hi; i++ {
+			ai, bi := a.Row(i), b.Row(i)
+			for k, aik := range ai {
+				if aik == 0 {
+					continue
+				}
+				row := acc[k*q : (k+1)*q]
+				for j, bij := range bi {
+					row[j] += aik * bij
+				}
+			}
+		}
+	})
+	c.Zero()
+	for w := 0; w < workers; w++ {
+		if !used[w] {
+			continue
+		}
+		for i, v := range partials[w] {
+			c.Data[i] += v
+		}
+	}
+}
+
+// ColumnNorms returns the Euclidean norm of every column.
+func (m *Matrix) ColumnNorms() []float64 {
+	sums := make([]float64, m.Cols)
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		for j, v := range row {
+			sums[j] += v * v
+		}
+	}
+	for j := range sums {
+		sums[j] = math.Sqrt(sums[j])
+	}
+	return sums
+}

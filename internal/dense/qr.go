@@ -1,0 +1,113 @@
+package dense
+
+import (
+	"fmt"
+	"math"
+)
+
+// QR computes the thin QR factorization A = Q·R of an n×d matrix with
+// n >= d, returning Q (n×d, orthonormal columns) and R (d×d, upper
+// triangular). A is not modified. This is the LAPACKE_sgeqrf +
+// LAPACKE_sorgqr pair from Algorithm 3 ("Orthonormalize").
+//
+// Implementation: classic Householder reflections. For each column k a
+// reflector H_k = I - tau·v·vᵀ annihilates the subdiagonal; Q is then formed
+// explicitly by applying H_0·…·H_{d-1} to the first d columns of the
+// identity. Cost is O(n·d²), negligible next to the SPMMs that produce A.
+func QR(a *Matrix) (q, r *Matrix) {
+	n, d := a.Rows, a.Cols
+	if n < d {
+		panic(fmt.Sprintf("dense: QR requires rows >= cols, got %dx%d", n, d))
+	}
+	work := a.Clone()
+	taus := make([]float64, d)
+	vs := make([][]float64, d) // reflector k stored over rows k..n-1
+
+	for k := 0; k < d; k++ {
+		// Build the reflector from column k, rows k..n-1.
+		var normSq float64
+		for i := k; i < n; i++ {
+			v := work.At(i, k)
+			normSq += v * v
+		}
+		norm := math.Sqrt(normSq)
+		akk := work.At(k, k)
+		if norm == 0 {
+			taus[k] = 0
+			vs[k] = make([]float64, n-k)
+			continue
+		}
+		alpha := -norm
+		if akk < 0 {
+			alpha = norm
+		}
+		v := make([]float64, n-k)
+		v[0] = akk - alpha
+		for i := k + 1; i < n; i++ {
+			v[i-k] = work.At(i, k)
+		}
+		var vnormSq float64
+		for _, x := range v {
+			vnormSq += x * x
+		}
+		if vnormSq == 0 {
+			taus[k] = 0
+			vs[k] = v
+			continue
+		}
+		tau := 2 / vnormSq
+		taus[k] = tau
+		vs[k] = v
+		// Apply H_k to the trailing columns of work.
+		for j := k; j < d; j++ {
+			var dot float64
+			for i := k; i < n; i++ {
+				dot += v[i-k] * work.At(i, j)
+			}
+			dot *= tau
+			for i := k; i < n; i++ {
+				work.Set(i, j, work.At(i, j)-dot*v[i-k])
+			}
+		}
+	}
+
+	r = NewMatrix(d, d)
+	for i := 0; i < d; i++ {
+		for j := i; j < d; j++ {
+			r.Set(i, j, work.At(i, j))
+		}
+	}
+
+	// Form Q explicitly: start from the n×d identity block and apply the
+	// reflectors in reverse.
+	q = NewMatrix(n, d)
+	for j := 0; j < d; j++ {
+		q.Set(j, j, 1)
+	}
+	for k := d - 1; k >= 0; k-- {
+		tau := taus[k]
+		if tau == 0 {
+			continue
+		}
+		v := vs[k]
+		for j := 0; j < d; j++ {
+			var dot float64
+			for i := k; i < n; i++ {
+				dot += v[i-k] * q.At(i, j)
+			}
+			dot *= tau
+			for i := k; i < n; i++ {
+				q.Set(i, j, q.At(i, j)-dot*v[i-k])
+			}
+		}
+	}
+	return q, r
+}
+
+// Orthonormalize returns a matrix with orthonormal columns spanning the
+// column space of a (the Q factor of its thin QR). Rank-deficient inputs
+// yield columns completing the basis arbitrarily but still orthonormal.
+func Orthonormalize(a *Matrix) *Matrix {
+	q, _ := QR(a)
+	return q
+}

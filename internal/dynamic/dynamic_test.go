@@ -1,0 +1,199 @@
+package dynamic
+
+import (
+	"math"
+	"testing"
+
+	"lightne/internal/core"
+	"lightne/internal/eval"
+	"lightne/internal/gen"
+	"lightne/internal/graph"
+)
+
+func growingSBM(t *testing.T) (*graph.Graph, []graph.Edge, *gen.Labels) {
+	t.Helper()
+	g, labels, err := gen.SBM(gen.SBMConfig{
+		N: 1500, Communities: 6, PIn: 0.04, POut: 0.003, Seed: 31,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Split the edge set: 80% initial graph, 20% arriving later.
+	var all []graph.Edge
+	for u := 0; u < g.NumVertices(); u++ {
+		for _, v := range g.Neighbors(uint32(u), nil) {
+			if uint32(u) < v {
+				all = append(all, graph.Edge{U: uint32(u), V: v})
+			}
+		}
+	}
+	cut := len(all) * 8 / 10
+	initial, err := graph.FromEdges(g.NumVertices(), all[:cut], graph.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return initial, all[cut:], labels
+}
+
+func testConfig() core.Config {
+	cfg := core.DefaultConfig(16)
+	cfg.T = 5
+	cfg.SampleMultiple = 2
+	cfg.Seed = 11
+	return cfg
+}
+
+func TestNewAndEmbed(t *testing.T) {
+	initial, _, labels := growingSBM(t)
+	e, err := New(initial, testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.NumVertices() != initial.NumVertices() {
+		t.Fatal("vertex count mismatch")
+	}
+	if e.Staleness() != 0 {
+		t.Fatalf("fresh embedder staleness %g", e.Staleness())
+	}
+	x, err := e.Embed()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cr, err := eval.NodeClassification(x, labels.Of, labels.NumClasses, 0.3, 3, eval.DefaultTrain())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cr.MicroF1 < 2.0/float64(labels.NumClasses) {
+		t.Fatalf("initial embedding quality %.3f too low", cr.MicroF1)
+	}
+}
+
+func TestAddEdgesIncremental(t *testing.T) {
+	initial, later, labels := growingSBM(t)
+	e, err := New(initial, testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := e.NumEdges()
+	// Deliver the held-back edges in three batches.
+	third := len(later) / 3
+	for i := 0; i < 3; i++ {
+		lo, hi := i*third, (i+1)*third
+		if i == 2 {
+			hi = len(later)
+		}
+		if err := e.AddEdges(later[lo:hi]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if e.NumEdges() != before+len(later) {
+		t.Fatalf("edges %d want %d", e.NumEdges(), before+len(later))
+	}
+	if e.Staleness() <= 0 {
+		t.Fatal("staleness should be positive after incremental batches")
+	}
+	x, err := e.Embed()
+	if err != nil {
+		t.Fatal(err)
+	}
+	incr, err := eval.NodeClassification(x, labels.Of, labels.NumClasses, 0.3, 3, eval.DefaultTrain())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Compare with a full rebuild on the final graph.
+	if err := e.Refresh(); err != nil {
+		t.Fatal(err)
+	}
+	if e.Staleness() != 0 {
+		t.Fatal("Refresh must clear staleness")
+	}
+	xf, err := e.Embed()
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := eval.NodeClassification(xf, labels.Of, labels.NumClasses, 0.3, 3, eval.DefaultTrain())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Incremental must stay within a few F1 points of the full rebuild.
+	if math.Abs(incr.MicroF1-full.MicroF1) > 0.10 {
+		t.Fatalf("incremental %.3f vs full %.3f drifted too far", incr.MicroF1, full.MicroF1)
+	}
+}
+
+func TestAddEdgesGrowsVertexSet(t *testing.T) {
+	initial, _, _ := growingSBM(t)
+	e, err := New(initial, testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := e.NumVertices()
+	// Attach two brand-new vertices.
+	batch := []graph.Edge{
+		{U: uint32(n), V: 0},
+		{U: uint32(n + 1), V: uint32(n)},
+	}
+	if err := e.AddEdges(batch); err != nil {
+		t.Fatal(err)
+	}
+	if e.NumVertices() != n+2 {
+		t.Fatalf("vertices %d want %d", e.NumVertices(), n+2)
+	}
+	x, err := e.Embed()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if x.Rows != n+2 {
+		t.Fatalf("embedding rows %d want %d", x.Rows, n+2)
+	}
+}
+
+func TestAddEdgesIgnoresDuplicatesAndLoops(t *testing.T) {
+	initial, _, _ := growingSBM(t)
+	e, err := New(initial, testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := e.NumEdges()
+	// Re-deliver existing edges plus self loops: nothing should change.
+	var dup []graph.Edge
+	for u := 0; u < 10; u++ {
+		for _, v := range initial.Neighbors(uint32(u), nil) {
+			dup = append(dup, graph.Edge{U: uint32(u), V: v})
+		}
+		dup = append(dup, graph.Edge{U: uint32(u), V: uint32(u)})
+	}
+	if err := e.AddEdges(dup); err != nil {
+		t.Fatal(err)
+	}
+	if e.NumEdges() != before {
+		t.Fatalf("duplicate batch changed edge count %d -> %d", before, e.NumEdges())
+	}
+	if err := e.AddEdges(nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNewErrors(t *testing.T) {
+	initial, _, _ := growingSBM(t)
+	bad := testConfig()
+	bad.Dim = 0
+	if _, err := New(initial, bad); err == nil {
+		t.Fatal("expected dim error")
+	}
+	bad = testConfig()
+	bad.T = 0
+	if _, err := New(initial, bad); err == nil {
+		t.Fatal("expected T error")
+	}
+}
+
+func TestNewRejectsWeightedGraph(t *testing.T) {
+	wg, err := graph.FromWeightedEdges(3, []graph.WeightedEdge{{U: 0, V: 1, W: 2}, {U: 1, V: 2, W: 1}}, graph.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(wg, testConfig()); err == nil {
+		t.Fatal("expected weighted-graph rejection")
+	}
+}

@@ -1,0 +1,278 @@
+// Package eval implements the paper's downstream evaluation protocols
+// (§5.1): multi-label node classification with one-vs-rest logistic
+// regression scored by Micro/Macro-F1, and link prediction scored by AUC
+// and by ranking metrics (MR, MRR, HITS@K) in the PyTorch-BigGraph style.
+//
+// The classification protocol follows the standard network-embedding
+// methodology (DeepWalk/NetMF/LightNE evaluation scripts): train a binary
+// logistic regression per class on a random labeled subset, and at test
+// time predict, for each vertex, its top-k scoring labels where k is the
+// vertex's true label count.
+package eval
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"lightne/internal/dense"
+	"lightne/internal/par"
+	"lightne/internal/rng"
+)
+
+// TrainConfig controls logistic-regression training.
+type TrainConfig struct {
+	// Epochs of full-batch Adam (default 100).
+	Epochs int
+	// LearningRate for Adam (default 0.1).
+	LearningRate float64
+	// L2 regularization strength (default 1e-4).
+	L2 float64
+}
+
+// DefaultTrain returns the defaults used throughout the benchmarks.
+func DefaultTrain() TrainConfig {
+	return TrainConfig{Epochs: 100, LearningRate: 0.1, L2: 1e-4}
+}
+
+// Classifier is a set of one-vs-rest binary logistic regressions.
+type Classifier struct {
+	// W is (numClasses × d+1); the last column is the bias.
+	W          *dense.Matrix
+	NumClasses int
+}
+
+// TrainOneVsRest fits a classifier on the given feature rows. features is
+// n×d; labels[i] lists the classes of trainRows[i]'s vertex; numClasses is
+// the label-space size.
+func TrainOneVsRest(features *dense.Matrix, trainRows []int, labels [][]int, numClasses int, cfg TrainConfig) (*Classifier, error) {
+	if len(trainRows) == 0 {
+		return nil, fmt.Errorf("eval: empty training set")
+	}
+	if len(trainRows) != len(labels) {
+		return nil, fmt.Errorf("eval: %d rows but %d label sets", len(trainRows), len(labels))
+	}
+	if cfg.Epochs <= 0 {
+		cfg.Epochs = 100
+	}
+	if cfg.LearningRate <= 0 {
+		cfg.LearningRate = 0.1
+	}
+	d := features.Cols
+	nt := len(trainRows)
+
+	// Copy training features once (adding the bias feature).
+	xt := dense.NewMatrix(nt, d+1)
+	for i, row := range trainRows {
+		copy(xt.Row(i), features.Row(row))
+		xt.Set(i, d, 1)
+	}
+	// Binary target matrix, one column per class.
+	y := make([][]float64, numClasses)
+	for c := range y {
+		y[c] = make([]float64, nt)
+	}
+	for i, ls := range labels {
+		for _, c := range ls {
+			if c < 0 || c >= numClasses {
+				return nil, fmt.Errorf("eval: label %d out of range [0,%d)", c, numClasses)
+			}
+			y[c][i] = 1
+		}
+	}
+
+	w := dense.NewMatrix(numClasses, d+1)
+	// Train classes independently in parallel: full-batch Adam.
+	par.For(numClasses, 1, func(c int) {
+		wc := w.Row(c)
+		mAdam := make([]float64, d+1)
+		vAdam := make([]float64, d+1)
+		grad := make([]float64, d+1)
+		const beta1, beta2, eps = 0.9, 0.999, 1e-8
+		for epoch := 1; epoch <= cfg.Epochs; epoch++ {
+			for j := range grad {
+				grad[j] = cfg.L2 * wc[j]
+			}
+			for i := 0; i < nt; i++ {
+				xi := xt.Row(i)
+				var z float64
+				for j, v := range xi {
+					z += v * wc[j]
+				}
+				p := sigmoid(z)
+				diff := (p - y[c][i]) / float64(nt)
+				for j, v := range xi {
+					grad[j] += diff * v
+				}
+			}
+			b1t := 1 - math.Pow(beta1, float64(epoch))
+			b2t := 1 - math.Pow(beta2, float64(epoch))
+			for j := range wc {
+				mAdam[j] = beta1*mAdam[j] + (1-beta1)*grad[j]
+				vAdam[j] = beta2*vAdam[j] + (1-beta2)*grad[j]*grad[j]
+				wc[j] -= cfg.LearningRate * (mAdam[j] / b1t) / (math.Sqrt(vAdam[j]/b2t) + eps)
+			}
+		}
+	})
+	return &Classifier{W: w, NumClasses: numClasses}, nil
+}
+
+func sigmoid(z float64) float64 {
+	if z >= 0 {
+		return 1 / (1 + math.Exp(-z))
+	}
+	e := math.Exp(z)
+	return e / (1 + e)
+}
+
+// Scores returns the per-class decision values for one feature row.
+func (c *Classifier) Scores(features *dense.Matrix, row int, out []float64) []float64 {
+	if out == nil {
+		out = make([]float64, c.NumClasses)
+	}
+	x := features.Row(row)
+	d := len(x)
+	for k := 0; k < c.NumClasses; k++ {
+		wc := c.W.Row(k)
+		z := wc[d] // bias
+		for j, v := range x {
+			z += v * wc[j]
+		}
+		out[k] = z
+	}
+	return out
+}
+
+// PredictTopK returns the k highest-scoring classes for a row (the
+// standard multi-label protocol with k = the true label count).
+func (c *Classifier) PredictTopK(features *dense.Matrix, row, k int) []int {
+	scores := c.Scores(features, row, nil)
+	idx := make([]int, c.NumClasses)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return scores[idx[a]] > scores[idx[b]] })
+	if k > len(idx) {
+		k = len(idx)
+	}
+	out := append([]int(nil), idx[:k]...)
+	sort.Ints(out)
+	return out
+}
+
+// F1Scores computes Micro- and Macro-F1 between predicted and true label
+// sets over the same vertices. Classes absent from both prediction and
+// truth contribute F1 = 0 to the macro average (sklearn convention).
+func F1Scores(pred, truth [][]int, numClasses int) (micro, macro float64) {
+	tp := make([]float64, numClasses)
+	fp := make([]float64, numClasses)
+	fn := make([]float64, numClasses)
+	for i := range truth {
+		tset := map[int]bool{}
+		for _, c := range truth[i] {
+			tset[c] = true
+		}
+		pset := map[int]bool{}
+		for _, c := range pred[i] {
+			pset[c] = true
+			if tset[c] {
+				tp[c]++
+			} else {
+				fp[c]++
+			}
+		}
+		for _, c := range truth[i] {
+			if !pset[c] {
+				fn[c]++
+			}
+		}
+	}
+	var sumTP, sumFP, sumFN float64
+	var macroSum float64
+	for c := 0; c < numClasses; c++ {
+		sumTP += tp[c]
+		sumFP += fp[c]
+		sumFN += fn[c]
+		denom := 2*tp[c] + fp[c] + fn[c]
+		if denom > 0 {
+			macroSum += 2 * tp[c] / denom
+		}
+	}
+	if d := 2*sumTP + sumFP + sumFN; d > 0 {
+		micro = 2 * sumTP / d
+	}
+	if numClasses > 0 {
+		macro = macroSum / float64(numClasses)
+	}
+	return micro, macro
+}
+
+// ClassificationResult reports a node-classification evaluation.
+type ClassificationResult struct {
+	MicroF1, MacroF1 float64
+	TrainSize        int
+	TestSize         int
+}
+
+// NodeClassification runs the full protocol: split labeled vertices into a
+// trainRatio training fraction and the rest for testing, fit one-vs-rest
+// logistic regression on the embedding, and score Micro/Macro-F1 with the
+// top-k prediction rule. Vertices without labels are excluded, matching the
+// paper's benchmarks.
+func NodeClassification(features *dense.Matrix, labels [][]int, numClasses int, trainRatio float64, seed uint64, cfg TrainConfig) (ClassificationResult, error) {
+	if trainRatio <= 0 || trainRatio >= 1 {
+		return ClassificationResult{}, fmt.Errorf("eval: train ratio must be in (0,1), got %g", trainRatio)
+	}
+	var labeled []int
+	for v, ls := range labels {
+		if len(ls) > 0 {
+			labeled = append(labeled, v)
+		}
+	}
+	if len(labeled) < 2 {
+		return ClassificationResult{}, fmt.Errorf("eval: need at least 2 labeled vertices, have %d", len(labeled))
+	}
+	src := rng.New(seed, 5)
+	shuffle(labeled, src)
+	nTrain := int(math.Round(trainRatio * float64(len(labeled))))
+	if nTrain < 1 {
+		nTrain = 1
+	}
+	if nTrain >= len(labeled) {
+		nTrain = len(labeled) - 1
+	}
+	trainRows := labeled[:nTrain]
+	testRows := labeled[nTrain:]
+
+	trainLabels := make([][]int, len(trainRows))
+	for i, v := range trainRows {
+		trainLabels[i] = labels[v]
+	}
+	clf, err := TrainOneVsRest(features, trainRows, trainLabels, numClasses, cfg)
+	if err != nil {
+		return ClassificationResult{}, err
+	}
+
+	pred := make([][]int, len(testRows))
+	truth := make([][]int, len(testRows))
+	par.For(len(testRows), 8, func(i int) {
+		v := testRows[i]
+		truth[i] = labels[v]
+		pred[i] = clf.PredictTopK(features, v, len(labels[v]))
+	})
+	micro, macro := F1Scores(pred, truth, numClasses)
+	return ClassificationResult{
+		MicroF1:   micro,
+		MacroF1:   macro,
+		TrainSize: len(trainRows),
+		TestSize:  len(testRows),
+	}, nil
+}
+
+// shuffle is a Fisher-Yates shuffle driven by our deterministic RNG.
+func shuffle(a []int, src *rng.Source) {
+	for i := len(a) - 1; i > 0; i-- {
+		j := src.Intn(i + 1)
+		a[i], a[j] = a[j], a[i]
+	}
+}

@@ -1,0 +1,66 @@
+package eval
+
+import "fmt"
+
+// ClassReport holds per-class precision/recall/F1 for error analysis.
+type ClassReport struct {
+	Class     int
+	Support   int // number of test vertices carrying the class
+	Precision float64
+	Recall    float64
+	F1        float64
+}
+
+// PerClassF1 computes a per-class breakdown of a prediction, in class
+// order. Classes with no support and no predictions report zeros.
+func PerClassF1(pred, truth [][]int, numClasses int) ([]ClassReport, error) {
+	if len(pred) != len(truth) {
+		return nil, fmt.Errorf("eval: %d predictions but %d truths", len(pred), len(truth))
+	}
+	tp := make([]float64, numClasses)
+	fp := make([]float64, numClasses)
+	fn := make([]float64, numClasses)
+	support := make([]int, numClasses)
+	for i := range truth {
+		tset := map[int]bool{}
+		for _, c := range truth[i] {
+			if c < 0 || c >= numClasses {
+				return nil, fmt.Errorf("eval: label %d out of range", c)
+			}
+			tset[c] = true
+			support[c]++
+		}
+		pset := map[int]bool{}
+		for _, c := range pred[i] {
+			if c < 0 || c >= numClasses {
+				return nil, fmt.Errorf("eval: prediction %d out of range", c)
+			}
+			pset[c] = true
+			if tset[c] {
+				tp[c]++
+			} else {
+				fp[c]++
+			}
+		}
+		for _, c := range truth[i] {
+			if !pset[c] {
+				fn[c]++
+			}
+		}
+	}
+	out := make([]ClassReport, numClasses)
+	for c := 0; c < numClasses; c++ {
+		r := ClassReport{Class: c, Support: support[c]}
+		if tp[c]+fp[c] > 0 {
+			r.Precision = tp[c] / (tp[c] + fp[c])
+		}
+		if tp[c]+fn[c] > 0 {
+			r.Recall = tp[c] / (tp[c] + fn[c])
+		}
+		if d := 2*tp[c] + fp[c] + fn[c]; d > 0 {
+			r.F1 = 2 * tp[c] / d
+		}
+		out[c] = r
+	}
+	return out, nil
+}

@@ -1,0 +1,68 @@
+package eval
+
+import (
+	"math"
+	"testing"
+)
+
+func TestPerClassF1HandComputed(t *testing.T) {
+	truth := [][]int{{0}, {1}, {0, 1}, {1}}
+	pred := [][]int{{0}, {0}, {0, 1}, {1}}
+	reps, err := PerClassF1(pred, truth, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Class 0: tp=2 (rows 0,2), fp=1 (row 1), fn=0 → P=2/3, R=1, F1=0.8.
+	if math.Abs(reps[0].Precision-2.0/3) > 1e-12 || reps[0].Recall != 1 {
+		t.Fatalf("class 0: %+v", reps[0])
+	}
+	if math.Abs(reps[0].F1-0.8) > 1e-12 {
+		t.Fatalf("class 0 F1 %g", reps[0].F1)
+	}
+	// Class 1: tp=2 (rows 2,3), fp=0, fn=1 (row 1) → P=1, R=2/3, F1=0.8.
+	if reps[1].Precision != 1 || math.Abs(reps[1].Recall-2.0/3) > 1e-12 {
+		t.Fatalf("class 1: %+v", reps[1])
+	}
+	if reps[0].Support != 2 || reps[1].Support != 3 {
+		t.Fatalf("supports: %d %d", reps[0].Support, reps[1].Support)
+	}
+}
+
+func TestPerClassF1ConsistentWithMacro(t *testing.T) {
+	truth := [][]int{{0}, {1}, {2}, {0, 2}, {1}}
+	pred := [][]int{{0}, {2}, {2}, {0, 1}, {1}}
+	reps, err := PerClassF1(pred, truth, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum float64
+	for _, r := range reps {
+		sum += r.F1
+	}
+	_, macro := F1Scores(pred, truth, 3)
+	if math.Abs(sum/3-macro) > 1e-12 {
+		t.Fatalf("per-class mean %.6f != macro %.6f", sum/3, macro)
+	}
+}
+
+func TestPerClassF1Errors(t *testing.T) {
+	if _, err := PerClassF1([][]int{{0}}, [][]int{{0}, {1}}, 2); err == nil {
+		t.Fatal("expected length mismatch error")
+	}
+	if _, err := PerClassF1([][]int{{5}}, [][]int{{0}}, 2); err == nil {
+		t.Fatal("expected out-of-range error")
+	}
+	if _, err := PerClassF1([][]int{{0}}, [][]int{{9}}, 2); err == nil {
+		t.Fatal("expected truth out-of-range error")
+	}
+}
+
+func TestPerClassF1EmptyClass(t *testing.T) {
+	reps, err := PerClassF1([][]int{{0}}, [][]int{{0}}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reps[2].F1 != 0 || reps[2].Support != 0 {
+		t.Fatalf("empty class should be zero: %+v", reps[2])
+	}
+}

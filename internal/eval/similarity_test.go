@@ -1,0 +1,138 @@
+package eval
+
+import (
+	"math"
+	"testing"
+
+	"lightne/internal/dense"
+	"lightne/internal/rng"
+)
+
+func TestNearestNeighbors(t *testing.T) {
+	// 6 vertices in 2D: 0,1,2 point along x; 3,4,5 along y; within groups
+	// slightly perturbed magnitudes (cosine ignores magnitude).
+	x := dense.FromSlice(6, 2, []float64{
+		1, 0,
+		2, 0.1,
+		3, -0.1,
+		0, 1,
+		0.1, 2,
+		-0.1, 3,
+	})
+	nbrs, err := NearestNeighbors(x, 0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(nbrs) != 2 {
+		t.Fatalf("got %d neighbors", len(nbrs))
+	}
+	for _, nb := range nbrs {
+		if nb.Vertex != 1 && nb.Vertex != 2 {
+			t.Fatalf("vertex 0's neighbors should be 1,2; got %d", nb.Vertex)
+		}
+		if nb.Cosine < 0.9 {
+			t.Fatalf("same-direction cosine %.3f too low", nb.Cosine)
+		}
+	}
+	// Self excluded, k clamped.
+	nbrs, err = NearestNeighbors(x, 0, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(nbrs) != 5 {
+		t.Fatalf("clamped k: got %d", len(nbrs))
+	}
+	for _, nb := range nbrs {
+		if nb.Vertex == 0 {
+			t.Fatal("query vertex returned as its own neighbor")
+		}
+	}
+}
+
+func TestNearestNeighborsErrors(t *testing.T) {
+	x := dense.NewMatrix(3, 2)
+	if _, err := NearestNeighbors(x, 9, 1); err == nil {
+		t.Fatal("expected out-of-range error")
+	}
+	if _, err := NearestNeighbors(x, 0, 0); err == nil {
+		t.Fatal("expected k error")
+	}
+}
+
+func TestNearestNeighborsZeroRows(t *testing.T) {
+	x := dense.NewMatrix(4, 3)
+	x.Set(0, 0, 1)
+	x.Set(1, 0, 1)
+	// Vertices 2,3 are zero rows: never returned.
+	nbrs, err := NearestNeighbors(x, 0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, nb := range nbrs {
+		if nb.Vertex == 2 || nb.Vertex == 3 {
+			t.Fatal("zero rows must be excluded")
+		}
+	}
+}
+
+func TestProcrustesIdenticalAndRotated(t *testing.T) {
+	a := dense.NewMatrix(50, 4)
+	a.FillGaussian(3)
+	d, err := ProcrustesDistance(a, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d > 1e-10 {
+		t.Fatalf("identical embeddings distance %g", d)
+	}
+	// Rotate a by an arbitrary orthogonal matrix: distance must stay ~0.
+	q := dense.NewMatrix(4, 4)
+	q.FillGaussian(7)
+	q = dense.Orthonormalize(q)
+	b := dense.NewMatrix(50, 4)
+	dense.MatMul(b, a, q)
+	d, err = ProcrustesDistance(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d > 1e-9 {
+		t.Fatalf("rotated embedding distance %g, want ~0", d)
+	}
+}
+
+func TestProcrustesUnrelated(t *testing.T) {
+	a := dense.NewMatrix(200, 8)
+	a.FillGaussian(1)
+	b := dense.NewMatrix(200, 8)
+	b.FillGaussian(2)
+	d, err := ProcrustesDistance(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d < 0.8 {
+		t.Fatalf("unrelated embeddings distance %g suspiciously low", d)
+	}
+	if _, err := ProcrustesDistance(a, dense.NewMatrix(3, 8)); err == nil {
+		t.Fatal("expected shape error")
+	}
+}
+
+func TestProcrustesNoisyCopy(t *testing.T) {
+	src := rng.New(11, 0)
+	a := dense.NewMatrix(100, 6)
+	a.FillGaussian(4)
+	b := a.Clone()
+	for i := range b.Data {
+		b.Data[i] += 0.01 * src.NormFloat64()
+	}
+	d, err := ProcrustesDistance(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d > 0.05 {
+		t.Fatalf("slightly perturbed copy distance %g too high", d)
+	}
+	if math.IsNaN(d) {
+		t.Fatal("NaN distance")
+	}
+}

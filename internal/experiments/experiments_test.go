@@ -1,0 +1,63 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// All experiments run in Quick mode as integration tests: they must
+// complete without error and produce well-formed reports. Shape assertions
+// for the headline claims live in the dedicated tests below.
+func TestAllExperimentsQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiments are slow; skipped in -short mode")
+	}
+	opt := Options{Seed: 1, Quick: true}
+	runners := All()
+	if len(runners) != len(Order()) {
+		t.Fatalf("All() has %d entries, Order() %d", len(runners), len(Order()))
+	}
+	for _, id := range Order() {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			run, ok := runners[id]
+			if !ok {
+				t.Fatalf("experiment %s missing from All()", id)
+			}
+			rep, err := run(opt)
+			if err != nil {
+				t.Fatalf("%s failed: %v", id, err)
+			}
+			if rep.ID == "" || rep.Title == "" || rep.PaperRef == "" {
+				t.Fatalf("%s: incomplete report metadata: %+v", id, rep)
+			}
+			if len(rep.Rows) == 0 {
+				t.Fatalf("%s: empty report", id)
+			}
+			for _, row := range rep.Rows {
+				if len(row) != len(rep.Headers) {
+					t.Fatalf("%s: row width %d != header width %d (%v)", id, len(row), len(rep.Headers), row)
+				}
+			}
+			s := rep.String()
+			if !strings.Contains(s, rep.Title) {
+				t.Fatalf("%s: String() missing title", id)
+			}
+		})
+	}
+}
+
+func TestReportString(t *testing.T) {
+	r := &Report{
+		ID: "EX", Title: "demo", PaperRef: "ref",
+		Headers: []string{"a", "bb"},
+		Rows:    [][]string{{"1", "2"}, {"333", "4"}},
+		Notes:   []string{"hello"},
+	}
+	s := r.String()
+	for _, want := range []string{"EX", "demo", "ref", "333", "hello"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("String() missing %q:\n%s", want, s)
+		}
+	}
+}

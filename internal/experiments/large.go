@@ -1,0 +1,207 @@
+package experiments
+
+import (
+	"time"
+
+	"lightne/internal/baselines"
+	"lightne/internal/core"
+	"lightne/internal/dense"
+	"lightne/internal/eval"
+	"lightne/internal/gen"
+)
+
+// E1PBGComparison regenerates the §5.2.1 table: LightNE vs PyTorch-BigGraph
+// on LiveJournal link prediction (Time, MR, MRR, HITS@10). PBG trains a
+// LINE-style edge-sampling SGD model, which stands in for it here.
+func E1PBGComparison(opt Options) (*Report, error) {
+	start := time.Now()
+	ds, err := gen.LiveJournalLike(opt.Seed)
+	if err != nil {
+		return nil, err
+	}
+	train, test, err := eval.SplitEdges(ds.Graph, 0.005, opt.Seed+1)
+	if err != nil {
+		return nil, err
+	}
+	dim := 64
+	negatives := 100
+	lineSamples := int64(60) * train.NumEdges()
+	if opt.Quick {
+		lineSamples /= 10
+	}
+
+	// PBG stand-in: LINE(2nd) SGD.
+	t0 := time.Now()
+	lineCfg := baselines.DefaultLINE(dim)
+	lineCfg.Samples = lineSamples
+	lineCfg.Seed = opt.Seed + 2
+	lineX, err := baselines.LINE(train, lineCfg)
+	if err != nil {
+		return nil, err
+	}
+	lineTime := time.Since(t0)
+	lineRank := eval.Ranking(lineX, test, negatives, []int{10}, opt.Seed+3)
+
+	// LightNE, T = 5 (the paper's cross-validated choice for LiveJournal).
+	t0 = time.Now()
+	cfg := core.DefaultConfig(dim)
+	cfg.T = 5
+	cfg.SampleMultiple = 2
+	if opt.Quick {
+		cfg.SampleMultiple = 0.5
+	}
+	cfg.Oversample, cfg.PowerIters = rsvdOversample, rsvdPowerIters
+	cfg.Seed = opt.Seed + 4
+	res, err := core.Embed(train, cfg)
+	if err != nil {
+		return nil, err
+	}
+	lnTime := time.Since(t0)
+	lnRank := eval.Ranking(res.Embedding, test, negatives, []int{10}, opt.Seed+3)
+
+	return &Report{
+		ID:       "E1",
+		Title:    "PBG comparison on LiveJournal-like (link prediction)",
+		PaperRef: "PBG: 7.25h, MR 4.25, MRR 0.87, HITS@10 0.93 — LightNE: 16min, MR 2.13, MRR 0.91, HITS@10 0.98 (27x faster, better on all metrics)",
+		Headers:  []string{"system", "time", "MR", "MRR", "HITS@10"},
+		Rows: [][]string{
+			{"LINE-SGD (PBG stand-in)", dur(lineTime), f(lineRank.MR), f(lineRank.MRR), f(lineRank.Hits[10])},
+			{"LightNE", dur(lnTime), f(lnRank.MR), f(lnRank.MRR), f(lnRank.Hits[10])},
+		},
+		Notes: []string{
+			"livejournal-like replica: n=12000 power-law-community graph, 0.5% held-out edges, 100 corrupted candidates per positive",
+		},
+		Elapsed: time.Since(start),
+	}, nil
+}
+
+// E2GraphViteF1 regenerates the §5.2.2 Micro-F1 table: LightNE vs GraphVite
+// on Friendster-small and Friendster node classification at 1/5/10% label
+// ratios. GraphVite trains DeepWalk with SGD, which stands in for it here.
+func E2GraphViteF1(opt Options) (*Report, error) {
+	start := time.Now()
+	rows := [][]string{}
+	datasets := []func(uint64) (*gen.Dataset, error){gen.FriendsterSmallLike, gen.FriendsterLike}
+	ratios := []float64{0.01, 0.05, 0.10}
+	dim := 32
+	for _, mk := range datasets {
+		ds, err := mk(opt.Seed)
+		if err != nil {
+			return nil, err
+		}
+		// GraphVite stand-in: DeepWalk SGD.
+		dwCfg := baselines.DefaultDeepWalk(dim)
+		if opt.Quick {
+			dwCfg.WalksPerNode, dwCfg.WalkLength, dwCfg.Window, dwCfg.Negatives = 1, 20, 3, 3
+		}
+		dwCfg.Seed = opt.Seed + 5
+		t0 := time.Now()
+		dwX, err := baselines.DeepWalk(ds.Graph, dwCfg)
+		if err != nil {
+			return nil, err
+		}
+		dwTime := time.Since(t0)
+
+		// LightNE, T = 1 (the paper's cross-validated choice for Friendster).
+		cfg := core.DefaultConfig(dim)
+		cfg.T = 1
+		cfg.SampleMultiple = 40
+		if opt.Quick {
+			cfg.SampleMultiple = 2
+		}
+		cfg.Oversample, cfg.PowerIters = rsvdOversample, rsvdPowerIters
+		cfg.Seed = opt.Seed + 6
+		t0 = time.Now()
+		res, err := core.Embed(ds.Graph, cfg)
+		if err != nil {
+			return nil, err
+		}
+		lnTime := time.Since(t0)
+
+		systems := []struct {
+			name string
+			x    *dense.Matrix
+			t    time.Duration
+		}{
+			{"DeepWalk-SGD (GraphVite stand-in)", dwX, dwTime},
+			{"LightNE", res.Embedding, lnTime},
+		}
+		for _, sys := range systems {
+			row := []string{ds.Name, sys.name}
+			for _, ratio := range ratios {
+				cr, err := eval.NodeClassification(sys.x, ds.Labels.Of, ds.Labels.NumClasses, ratio, opt.Seed+7, eval.DefaultTrain())
+				if err != nil {
+					return nil, err
+				}
+				row = append(row, pct(cr.MicroF1))
+			}
+			row = append(row, dur(sys.t))
+			rows = append(rows, row)
+		}
+	}
+	return &Report{
+		ID:       "E2",
+		Title:    "GraphVite comparison: Micro-F1 at 1/5/10% label ratios",
+		PaperRef: "Friendster-small: GraphVite 76.9/87.9/89.2 vs LightNE 84.5/93.2/94.0; Friendster: 72.5/86.3/88.4 vs 80.7/91.1/92.3; LightNE 29-32x faster",
+		Headers:  []string{"dataset", "system", "Micro-F1@1%", "Micro-F1@5%", "Micro-F1@10%", "time"},
+		Rows:     rows,
+		Notes:    []string{"friendster replicas: SBM with overlapping communities at 1/1000 scale"},
+		Elapsed:  time.Since(start),
+	}, nil
+}
+
+// E3HyperlinkAUC regenerates the §5.2.2 Hyperlink-PLD comparison: link
+// prediction AUC and wall clock, LightNE vs the DeepWalk-SGD stand-in.
+func E3HyperlinkAUC(opt Options) (*Report, error) {
+	start := time.Now()
+	ds, err := gen.HyperlinkPLDLike(opt.Seed)
+	if err != nil {
+		return nil, err
+	}
+	train, test, err := eval.SplitEdges(ds.Graph, 0.005, opt.Seed+1)
+	if err != nil {
+		return nil, err
+	}
+	dim := 32
+
+	dwCfg := baselines.DefaultDeepWalk(dim)
+	if opt.Quick {
+		dwCfg.WalksPerNode, dwCfg.WalkLength, dwCfg.Window, dwCfg.Negatives = 1, 20, 3, 3
+	}
+	dwCfg.Seed = opt.Seed + 2
+	t0 := time.Now()
+	dwX, err := baselines.DeepWalk(train, dwCfg)
+	if err != nil {
+		return nil, err
+	}
+	dwTime := time.Since(t0)
+	dwAUC := eval.AUC(dwX, test, 100, opt.Seed+3)
+
+	cfg := core.DefaultConfig(dim)
+	cfg.T = 5
+	cfg.SampleMultiple = 2
+	if opt.Quick {
+		cfg.SampleMultiple = 0.5
+	}
+	cfg.Oversample, cfg.PowerIters = rsvdOversample, rsvdPowerIters
+	cfg.Seed = opt.Seed + 4
+	t0 = time.Now()
+	res, err := core.Embed(train, cfg)
+	if err != nil {
+		return nil, err
+	}
+	lnTime := time.Since(t0)
+	lnAUC := eval.AUC(res.Embedding, test, 100, opt.Seed+3)
+
+	return &Report{
+		ID:       "E3",
+		Title:    "GraphVite comparison on Hyperlink-PLD-like (AUC + efficiency)",
+		PaperRef: "GraphVite AUC 94.3 in 5.36h vs LightNE AUC 96.7 in 29.8min (11x faster)",
+		Headers:  []string{"system", "AUC", "time"},
+		Rows: [][]string{
+			{"DeepWalk-SGD (GraphVite stand-in)", pct(dwAUC), dur(dwTime)},
+			{"LightNE", pct(lnAUC), dur(lnTime)},
+		},
+		Elapsed: time.Since(start),
+	}, nil
+}

@@ -1,0 +1,66 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"lightne/internal/core"
+	"lightne/internal/eval"
+	"lightne/internal/gen"
+)
+
+// E8VeryLargeHITS regenerates Figure 3: HITS@{1,10,50} of LightNE on the
+// two 100-billion-edge-scale web graph replicas as the sample count grows,
+// with the paper's very-large-graph configuration: T = 2, d = 32, spectral
+// propagation skipped, link-prediction evaluation on held-out edges.
+func E8VeryLargeHITS(opt Options) (*Report, error) {
+	start := time.Now()
+	mults := []float64{0.25, 0.5, 1, 2, 4}
+	if opt.Quick {
+		mults = []float64{0.25, 1}
+	}
+	datasets := []func(uint64) (*gen.Dataset, error){gen.ClueWebLike, gen.Hyperlink2014Like}
+	var rows [][]string
+	for _, mk := range datasets {
+		ds, err := mk(opt.Seed)
+		if err != nil {
+			return nil, err
+		}
+		train, test, err := eval.SplitEdges(ds.Graph, 0.001, opt.Seed+1)
+		if err != nil {
+			return nil, err
+		}
+		for _, mult := range mults {
+			cfg := core.DefaultConfig(32)
+			cfg.T = 2
+			cfg.SampleMultiple = mult
+			cfg.SkipPropagation = true
+			cfg.Oversample, cfg.PowerIters = rsvdOversample, rsvdPowerIters
+			cfg.Seed = opt.Seed + 2
+			t0 := time.Now()
+			res, err := core.Embed(train, cfg)
+			if err != nil {
+				return nil, err
+			}
+			elapsed := time.Since(t0)
+			rank := eval.Ranking(res.Embedding, test, 200, []int{1, 10, 50}, opt.Seed+3)
+			rows = append(rows, []string{
+				ds.Name,
+				fmt.Sprintf("%.2g", float64(res.SampleStats.Trials)),
+				pct(rank.Hits[1]), pct(rank.Hits[10]), pct(rank.Hits[50]),
+				dur(elapsed),
+			})
+		}
+	}
+	return &Report{
+		ID:       "E8",
+		Title:    "Figure 3: HITS@K vs number of samples on very large graph replicas",
+		PaperRef: "on ClueWeb-Sym and Hyperlink2014-Sym, all of HITS@1/10/50 rise monotonically with the sample count until the 1.5TB memory bottleneck; each run < 2h",
+		Headers:  []string{"dataset", "samples", "HITS@1", "HITS@10", "HITS@50", "time"},
+		Rows:     rows,
+		Notes: []string{
+			"T=2, d=32, propagation skipped (paper §5.3 configuration); 0.1% held-out edges ranked against 200 corrupted candidates",
+		},
+		Elapsed: time.Since(start),
+	}, nil
+}

@@ -1,0 +1,191 @@
+package gen
+
+import (
+	"fmt"
+
+	"lightne/internal/graph"
+	"lightne/internal/rng"
+)
+
+// Dataset is a named synthetic replica of one of the paper's nine
+// evaluation graphs (Table 3), scaled to laptop size with matched average
+// degree and structure family. Label-bearing replicas plant multi-label
+// communities for the node-classification tasks; the rest are used for
+// link prediction and scaling experiments.
+type Dataset struct {
+	Name   string
+	Graph  *graph.Graph
+	Labels *Labels // nil for link-prediction-only datasets
+	// PaperN/PaperM record the original dataset's size for reporting.
+	PaperN, PaperM int64
+}
+
+// BlogCatalogLike replicates BlogCatalog (10,312 vertices, 333,983 edges,
+// 39 overlapping classes): small, dense, heavily multi-label.
+func BlogCatalogLike(seed uint64) (*Dataset, error) {
+	g, labels, err := SBM(SBMConfig{
+		N: 2000, Communities: 12, PIn: 0.055, POut: 0.004,
+		OverlapProb: 0.35, DegreeSkew: 2.2, Seed: seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Dataset{Name: "blogcatalog-like", Graph: g, Labels: labels,
+		PaperN: 10_312, PaperM: 333_983}, nil
+}
+
+// YouTubeLike replicates YouTube (1.1M vertices, 3.0M edges, sparse labels):
+// low average degree, few labeled vertices.
+func YouTubeLike(seed uint64) (*Dataset, error) {
+	g, labels, err := SBM(SBMConfig{
+		N: 6000, Communities: 15, PIn: 0.01, POut: 0.0006,
+		OverlapProb: 0.2, DegreeSkew: 2.1, Seed: seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	sparsifyLabels(labels, 0.35, seed+1)
+	return &Dataset{Name: "youtube-like", Graph: g, Labels: labels,
+		PaperN: 1_138_499, PaperM: 2_990_443}, nil
+}
+
+// LiveJournalLike replicates LiveJournal (4.8M vertices, 69M edges) for the
+// PBG link-prediction comparison: heavy-tailed community sizes plus a
+// power-law background, giving both the skew and the local clustering that
+// make held-out-edge ranking meaningful.
+func LiveJournalLike(seed uint64) (*Dataset, error) {
+	g, _, err := CommunityPowerLaw(CommunityPowerLawConfig{
+		N: 12000, Communities: 120, AvgDegree: 18, Seed: seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Dataset{Name: "livejournal-like", Graph: g,
+		PaperN: 4_847_571, PaperM: 68_993_773}, nil
+}
+
+// FriendsterSmallLike replicates Friendster-small (7.9M vertices, 447M
+// edges) for the GraphVite classification comparison.
+func FriendsterSmallLike(seed uint64) (*Dataset, error) {
+	g, labels, err := SBM(SBMConfig{
+		N: 5000, Communities: 10, PIn: 0.022, POut: 0.0015,
+		OverlapProb: 0.25, DegreeSkew: 2.5, Seed: seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Dataset{Name: "friendster-small-like", Graph: g, Labels: labels,
+		PaperN: 7_944_949, PaperM: 447_219_610}, nil
+}
+
+// FriendsterLike replicates Friendster (66M vertices, 1.8B edges).
+func FriendsterLike(seed uint64) (*Dataset, error) {
+	g, labels, err := SBM(SBMConfig{
+		N: 10000, Communities: 14, PIn: 0.013, POut: 0.0008,
+		OverlapProb: 0.25, DegreeSkew: 2.5, Seed: seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Dataset{Name: "friendster-like", Graph: g, Labels: labels,
+		PaperN: 65_608_376, PaperM: 1_806_067_142}, nil
+}
+
+// HyperlinkPLDLike replicates Hyperlink-PLD (39M vertices, 623M edges) for
+// the GraphVite link-prediction (AUC) comparison: web-graph skew.
+func HyperlinkPLDLike(seed uint64) (*Dataset, error) {
+	g, _, err := CommunityPowerLaw(CommunityPowerLawConfig{
+		N: 9000, Communities: 200, AvgDegree: 16, ZipfExponent: 1.2, Seed: seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Dataset{Name: "hyperlink-pld-like", Graph: g,
+		PaperN: 39_497_204, PaperM: 623_056_313}, nil
+}
+
+// OAGLike replicates OAG (68M vertices, 895M edges, sparse academic labels):
+// the Table 4 / Figure 2 workload.
+func OAGLike(seed uint64) (*Dataset, error) {
+	// Two-level structure: labels are super-communities whose signal lives
+	// at 2+ hops (like OAG's field-of-study labels spanning venues), dense
+	// micro-communities dominate direct edges, and degrees are skewed so
+	// LightNE's downsampling has the bite it has on the real graph.
+	g, labels, err := HierarchicalSBM(HierarchicalSBMConfig{
+		N: 6000, Super: 12, Micro: 8,
+		DIn: 12, DMid: 4, DOut: 8,
+		OverlapProb: 0.3, DegreeSkew: 2.3, Seed: seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Dataset{Name: "oag-like", Graph: g, Labels: labels,
+		PaperN: 67_768_244, PaperM: 895_368_962}, nil
+}
+
+// ClueWebLike replicates ClueWeb-Sym (978M vertices, 75B edges) for the
+// very-large-graph scaling experiment (Figure 3a).
+func ClueWebLike(seed uint64) (*Dataset, error) {
+	g, err := RMAT(RMATConfig{Scale: 14, EdgeFactor: 20, Seed: seed})
+	if err != nil {
+		return nil, err
+	}
+	return &Dataset{Name: "clueweb-like", Graph: g,
+		PaperN: 978_408_098, PaperM: 74_744_358_622}, nil
+}
+
+// Hyperlink2014Like replicates Hyperlink2014-Sym (1.7B vertices, 124B
+// edges) for Figure 3b.
+func Hyperlink2014Like(seed uint64) (*Dataset, error) {
+	g, err := RMAT(RMATConfig{Scale: 15, EdgeFactor: 16, Seed: seed})
+	if err != nil {
+		return nil, err
+	}
+	return &Dataset{Name: "hyperlink2014-like", Graph: g,
+		PaperN: 1_724_573_718, PaperM: 124_141_874_032}, nil
+}
+
+// ByName returns the replica with the given name.
+func ByName(name string, seed uint64) (*Dataset, error) {
+	switch name {
+	case "blogcatalog-like":
+		return BlogCatalogLike(seed)
+	case "youtube-like":
+		return YouTubeLike(seed)
+	case "livejournal-like":
+		return LiveJournalLike(seed)
+	case "friendster-small-like":
+		return FriendsterSmallLike(seed)
+	case "friendster-like":
+		return FriendsterLike(seed)
+	case "hyperlink-pld-like":
+		return HyperlinkPLDLike(seed)
+	case "oag-like":
+		return OAGLike(seed)
+	case "clueweb-like":
+		return ClueWebLike(seed)
+	case "hyperlink2014-like":
+		return Hyperlink2014Like(seed)
+	}
+	return nil, fmt.Errorf("gen: unknown dataset %q (see AllNames)", name)
+}
+
+// AllNames lists every replica name.
+func AllNames() []string {
+	return []string{
+		"blogcatalog-like", "youtube-like", "livejournal-like",
+		"friendster-small-like", "friendster-like", "hyperlink-pld-like",
+		"oag-like", "clueweb-like", "hyperlink2014-like",
+	}
+}
+
+// sparsifyLabels removes labels from a (1-keep) fraction of vertices,
+// modeling datasets where most vertices are unlabeled.
+func sparsifyLabels(l *Labels, keep float64, seed uint64) {
+	src := rng.New(seed, 4)
+	for v := range l.Of {
+		if !src.Bernoulli(keep) {
+			l.Of[v] = nil
+		}
+	}
+}

@@ -1,0 +1,98 @@
+package graph
+
+import (
+	"bytes"
+	"testing"
+
+	"lightne/internal/rng"
+)
+
+func TestBinaryRoundtrip(t *testing.T) {
+	s := rng.New(7, 0)
+	n := 200
+	var arcs []Edge
+	for i := 0; i < 1500; i++ {
+		arcs = append(arcs, Edge{uint32(s.Intn(n)), uint32(s.Intn(n))})
+	}
+	g, err := FromEdges(n, arcs, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := g.WriteBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := ReadBinary(bytes.NewReader(buf.Bytes()), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.NumVertices() != n || g2.NumEdges() != g.NumEdges() {
+		t.Fatalf("shape mismatch: %d/%d vs %d/%d", g2.NumVertices(), g2.NumEdges(), n, g.NumEdges())
+	}
+	for u := uint32(0); int(u) < n; u++ {
+		a, b := g.Neighbors(u, nil), g2.Neighbors(u, nil)
+		if len(a) != len(b) {
+			t.Fatalf("vertex %d degree mismatch", u)
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("vertex %d neighbors differ", u)
+			}
+		}
+	}
+}
+
+func TestBinaryRoundtripCompressedSource(t *testing.T) {
+	// A compressed graph serializes to plain CSR and reloads compressed.
+	arcs := []Edge{{0, 1}, {1, 2}, {2, 3}, {3, 0}, {0, 2}}
+	opt := DefaultOptions()
+	opt.Compress = true
+	g, err := FromEdges(4, arcs, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := g.WriteBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := ReadBinary(bytes.NewReader(buf.Bytes()), Options{Compress: true, BlockSize: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g2.Compressed() {
+		t.Fatal("requested compression lost on load")
+	}
+	for u := uint32(0); u < 4; u++ {
+		a, b := g.Neighbors(u, nil), g2.Neighbors(u, nil)
+		if len(a) != len(b) {
+			t.Fatalf("vertex %d degree mismatch", u)
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatal("neighbors differ after compressed roundtrip")
+			}
+		}
+	}
+}
+
+func TestBinaryErrors(t *testing.T) {
+	if _, err := ReadBinary(bytes.NewReader([]byte("nope")), Options{}); err == nil {
+		t.Fatal("expected header error")
+	}
+	if _, err := ReadBinary(bytes.NewReader([]byte("XXXXYYYYYYYYZZZZZZZZ")), Options{}); err == nil {
+		t.Fatal("expected magic error")
+	}
+	// Truncated payload.
+	g, err := FromEdges(3, []Edge{{0, 1}, {1, 2}}, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := g.WriteBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	trunc := buf.Bytes()[:buf.Len()-3]
+	if _, err := ReadBinary(bytes.NewReader(trunc), Options{}); err == nil {
+		t.Fatal("expected truncation error")
+	}
+}

@@ -1,0 +1,292 @@
+// Package graph implements the shared-memory parallel graph-processing
+// substrate LightNE builds on (the paper's GBBS/Ligra layer, §4.1). It
+// provides an immutable CSR representation with optional Ligra+ parallel-byte
+// compression, bulk-parallel primitives over vertices and edges, constant- or
+// near-constant-time i-th-neighbor access (needed by random walk steps), and
+// the random walk itself (Algorithm 1's building block).
+//
+// Graphs here are unweighted and, for embedding purposes, undirected: the
+// builder symmetrizes edge lists so each undirected edge {u,v} is stored as
+// two directed arcs. NumEdges reports directed arcs, so vol(G) = NumEdges for
+// a symmetrized graph, matching the paper's vol(G) = 2m convention.
+package graph
+
+import (
+	"fmt"
+	"sort"
+
+	"lightne/internal/compress"
+	"lightne/internal/par"
+	"lightne/internal/rng"
+)
+
+// Edge is a directed arc; builders interpret pairs per their options.
+type Edge struct {
+	U, V uint32
+}
+
+// Graph is an immutable CSR graph. Exactly one of (edges) or (comp) backs
+// the adjacency data depending on whether compression was requested.
+// Weighted graphs (FromWeightedEdges) additionally carry per-edge weights
+// and per-vertex alias tables for O(1) weighted neighbor sampling.
+type Graph struct {
+	n       int
+	offsets []int64 // len n+1; valid in both representations
+	edges   []uint32
+	comp    *compress.Adjacency
+	weights []float64 // nil for unweighted graphs; aligned with edges
+	alias   *aliasTables
+}
+
+// Options controls graph construction.
+type Options struct {
+	// Symmetrize adds the reverse of every input arc (making the graph
+	// undirected). Embedding pipelines always set this.
+	Symmetrize bool
+	// RemoveSelfLoops drops arcs with U == V.
+	RemoveSelfLoops bool
+	// Dedup removes duplicate arcs after symmetrization.
+	Dedup bool
+	// Compress stores adjacency in the Ligra+ parallel-byte format.
+	Compress bool
+	// BlockSize is the compression block size; <= 0 means the default (64).
+	BlockSize int
+}
+
+// DefaultOptions returns the options used by the embedding pipelines:
+// symmetrized, simple (no loops or duplicates), uncompressed.
+func DefaultOptions() Options {
+	return Options{Symmetrize: true, RemoveSelfLoops: true, Dedup: true}
+}
+
+// FromEdges builds a graph with n vertices from an arc list. Vertex IDs must
+// be < n. The input slice is not modified.
+func FromEdges(n int, arcs []Edge, opt Options) (*Graph, error) {
+	if n < 0 {
+		return nil, fmt.Errorf("graph: negative vertex count %d", n)
+	}
+	work := make([]Edge, 0, len(arcs)*2)
+	for _, e := range arcs {
+		if int(e.U) >= n || int(e.V) >= n {
+			return nil, fmt.Errorf("graph: arc (%d,%d) exceeds vertex count %d", e.U, e.V, n)
+		}
+		if opt.RemoveSelfLoops && e.U == e.V {
+			continue
+		}
+		work = append(work, e)
+		if opt.Symmetrize && e.U != e.V {
+			work = append(work, Edge{e.V, e.U})
+		}
+	}
+	sort.Slice(work, func(i, j int) bool {
+		if work[i].U != work[j].U {
+			return work[i].U < work[j].U
+		}
+		return work[i].V < work[j].V
+	})
+	if opt.Dedup {
+		out := work[:0]
+		for i, e := range work {
+			if i > 0 && e == work[i-1] {
+				continue
+			}
+			out = append(out, e)
+		}
+		work = out
+	}
+	offsets := make([]int64, n+1)
+	edges := make([]uint32, len(work))
+	for i, e := range work {
+		offsets[e.U+1]++
+		edges[i] = e.V
+	}
+	for u := 0; u < n; u++ {
+		offsets[u+1] += offsets[u]
+	}
+	return FromCSR(offsets, edges, opt)
+}
+
+// FromCSR wraps existing CSR arrays (offsets len n+1, per-vertex neighbor
+// ranges sorted ascending). Only the compression options are honored. The
+// arrays are retained; callers must not mutate them afterwards.
+func FromCSR(offsets []int64, edges []uint32, opt Options) (*Graph, error) {
+	if len(offsets) == 0 {
+		return nil, fmt.Errorf("graph: offsets must have at least one element")
+	}
+	n := len(offsets) - 1
+	if offsets[n] != int64(len(edges)) {
+		return nil, fmt.Errorf("graph: offsets[n]=%d does not match edge count %d", offsets[n], len(edges))
+	}
+	g := &Graph{n: n, offsets: offsets}
+	if opt.Compress {
+		a, err := compress.Build(offsets, edges, opt.BlockSize)
+		if err != nil {
+			return nil, err
+		}
+		g.comp = a
+	} else {
+		g.edges = edges
+	}
+	return g, nil
+}
+
+// NumVertices returns n.
+func (g *Graph) NumVertices() int { return g.n }
+
+// NumEdges returns the number of stored directed arcs (2m for a symmetrized
+// simple graph with m undirected edges).
+func (g *Graph) NumEdges() int64 { return g.offsets[g.n] }
+
+// Volume returns vol(G): the sum of weighted degrees (= NumEdges for
+// unweighted graphs).
+func (g *Graph) Volume() float64 { return g.TotalWeight() }
+
+// Compressed reports whether adjacency is stored in parallel-byte form.
+func (g *Graph) Compressed() bool { return g.comp != nil }
+
+// OffsetOf returns the CSR offset of vertex u's neighbor range; OffsetOf(n)
+// equals NumEdges. Exposed for samplers that binary-search degree prefix
+// sums (paper §4.2).
+func (g *Graph) OffsetOf(u int) int64 { return g.offsets[u] }
+
+// Degree returns the out-degree of u.
+func (g *Graph) Degree(u uint32) int {
+	return int(g.offsets[u+1] - g.offsets[u])
+}
+
+// Neighbor returns the i-th neighbor (ascending order) of u.
+func (g *Graph) Neighbor(u uint32, i int) uint32 {
+	if g.comp != nil {
+		return g.comp.Nth(u, i)
+	}
+	return g.edges[g.offsets[u]+int64(i)]
+}
+
+// Neighbors appends the neighbors of u to dst and returns the result. For
+// uncompressed graphs, pass nil dst to receive a view of the underlying
+// storage without copying.
+func (g *Graph) Neighbors(u uint32, dst []uint32) []uint32 {
+	if g.comp != nil {
+		return g.comp.Neighbors(u, dst)
+	}
+	seg := g.edges[g.offsets[u]:g.offsets[u+1]]
+	if dst == nil {
+		return seg
+	}
+	return append(dst, seg...)
+}
+
+// MapVertices calls fn(u) for every vertex in parallel.
+func (g *Graph) MapVertices(fn func(u uint32)) {
+	par.For(g.n, 512, func(i int) { fn(uint32(i)) })
+}
+
+// MapEdges calls fn(u, v) for every directed arc in parallel, partitioned by
+// source vertex. This is the GBBS MapEdges primitive Algorithm 2 is built on.
+func (g *Graph) MapEdges(fn func(u, v uint32)) {
+	g.MapVertices(func(u uint32) {
+		if g.comp != nil {
+			g.comp.Decode(u, func(v uint32) { fn(u, v) })
+			return
+		}
+		for _, v := range g.edges[g.offsets[u]:g.offsets[u+1]] {
+			fn(u, v)
+		}
+	})
+}
+
+// MapEdgesWorker calls fn(worker, u, v) for every directed arc in parallel.
+// The worker index is dense in [0, par.Workers()) and never used by two
+// concurrent chunks, letting callers keep per-worker RNGs and buffers —
+// the pattern LightNE's downsampled PathSampling uses (Algorithm 2).
+func (g *Graph) MapEdgesWorker(fn func(worker int, u, v uint32)) {
+	par.WorkerFor(g.n, 64, func(worker, lo, hi int) {
+		for ui := lo; ui < hi; ui++ {
+			u := uint32(ui)
+			if g.comp != nil {
+				g.comp.Decode(u, func(v uint32) { fn(worker, u, v) })
+				continue
+			}
+			for _, v := range g.edges[g.offsets[u]:g.offsets[u+1]] {
+				fn(worker, u, v)
+			}
+		}
+	})
+}
+
+// RandomNeighbor returns a random neighbor of u, or (0, false) if u is
+// isolated. Unweighted graphs draw uniformly (one random 32-bit draw
+// reduced modulo the degree, exactly as described in §4.2); weighted graphs
+// draw proportionally to edge weight via the alias table, still O(1).
+func (g *Graph) RandomNeighbor(u uint32, r *rng.Source) (uint32, bool) {
+	if g.weights != nil {
+		return g.weightedRandomNeighbor(u, r)
+	}
+	d := g.Degree(u)
+	if d == 0 {
+		return 0, false
+	}
+	return g.Neighbor(u, r.Intn(d)), true
+}
+
+// Walk performs a random walk of the given number of steps starting at u and
+// returns the final vertex. If the walk reaches an isolated vertex it stays
+// there (symmetrized graphs never hit this unless u itself is isolated).
+func (g *Graph) Walk(u uint32, steps int, r *rng.Source) uint32 {
+	for s := 0; s < steps; s++ {
+		v, ok := g.RandomNeighbor(u, r)
+		if !ok {
+			return u
+		}
+		u = v
+	}
+	return u
+}
+
+// Degrees returns a freshly allocated slice of all vertex degrees.
+func (g *Graph) Degrees() []float64 {
+	d := make([]float64, g.n)
+	par.For(g.n, 4096, func(i int) {
+		d[i] = float64(g.offsets[i+1] - g.offsets[i])
+	})
+	return d
+}
+
+// SizeBytes estimates in-memory adjacency size: CSR arrays, or the
+// compressed payload when compression is on.
+func (g *Graph) SizeBytes() int64 {
+	if g.comp != nil {
+		return g.comp.SizeBytes()
+	}
+	size := int64(len(g.offsets))*8 + int64(len(g.edges))*4
+	if g.weights != nil {
+		size += int64(len(g.weights)) * 8 // weights plus alias tables
+		size += int64(len(g.alias.prob))*8 + int64(len(g.alias.alias))*4
+	}
+	return size
+}
+
+// Validate performs internal consistency checks; useful in tests and after
+// loading untrusted inputs.
+func (g *Graph) Validate() error {
+	if len(g.offsets) != g.n+1 {
+		return fmt.Errorf("graph: offsets length %d, want %d", len(g.offsets), g.n+1)
+	}
+	for u := 0; u < g.n; u++ {
+		if g.offsets[u] > g.offsets[u+1] {
+			return fmt.Errorf("graph: offsets decrease at vertex %d", u)
+		}
+		prev := int64(-1)
+		for i := 0; i < g.Degree(uint32(u)); i++ {
+			v := g.Neighbor(uint32(u), i)
+			if int(v) >= g.n {
+				return fmt.Errorf("graph: vertex %d has neighbor %d >= n", u, v)
+			}
+			if int64(v) < prev {
+				return fmt.Errorf("graph: vertex %d neighbors not sorted", u)
+			}
+			prev = int64(v)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,128 @@
+package graph
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"lightne/internal/rng"
+)
+
+func TestParallelParserMatchesSequential(t *testing.T) {
+	s := rng.New(17, 0)
+	var sb strings.Builder
+	sb.WriteString("# header comment\n")
+	n := 500
+	for i := 0; i < 5000; i++ {
+		fmt.Fprintf(&sb, "%d %d\n", s.Intn(n), s.Intn(n))
+		if i%97 == 0 {
+			sb.WriteString("% interleaved comment\n")
+		}
+		if i%131 == 0 {
+			sb.WriteString("\n") // blank lines
+		}
+	}
+	input := sb.String()
+	seq, err := LoadEdgeList(strings.NewReader(input), 0, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	parl, err := LoadEdgeListParallel(strings.NewReader(input), 0, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq.NumVertices() != parl.NumVertices() || seq.NumEdges() != parl.NumEdges() {
+		t.Fatalf("shape mismatch: %d/%d vs %d/%d",
+			seq.NumVertices(), seq.NumEdges(), parl.NumVertices(), parl.NumEdges())
+	}
+	for u := uint32(0); int(u) < seq.NumVertices(); u++ {
+		a, b := seq.Neighbors(u, nil), parl.Neighbors(u, nil)
+		if len(a) != len(b) {
+			t.Fatalf("vertex %d degree mismatch", u)
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("vertex %d neighbors differ", u)
+			}
+		}
+	}
+}
+
+func TestParallelParserEdgeCases(t *testing.T) {
+	cases := []struct {
+		input string
+		edges int64 // expected arcs, -1 for error
+	}{
+		{"", 0},
+		{"0 1", 2},     // no trailing newline
+		{"0 1\r\n", 2}, // CRLF
+		{"  0\t1  \n", 2},
+		{"0 1 extra ignored\n", 2},
+		{"a b\n", -1},
+		{"0\n", -1},
+		{"99999999999 0\n", -1}, // uint32 overflow
+	}
+	for _, tc := range cases {
+		g, err := LoadEdgeListParallel(strings.NewReader(tc.input), 4, DefaultOptions())
+		if tc.edges < 0 {
+			if err == nil {
+				t.Fatalf("input %q: expected error", tc.input)
+			}
+			continue
+		}
+		if err != nil {
+			t.Fatalf("input %q: %v", tc.input, err)
+		}
+		if g.NumEdges() != tc.edges {
+			t.Fatalf("input %q: arcs %d want %d", tc.input, g.NumEdges(), tc.edges)
+		}
+	}
+}
+
+func TestParseUint32Field(t *testing.T) {
+	v, rest, ok := parseUint32Field([]byte("  42 rest"))
+	if !ok || v != 42 || string(rest) != " rest" {
+		t.Fatalf("got %d %q %v", v, rest, ok)
+	}
+	if _, _, ok := parseUint32Field([]byte("x")); ok {
+		t.Fatal("non-digit should fail")
+	}
+	if _, _, ok := parseUint32Field([]byte("4294967296")); ok {
+		t.Fatal("overflow should fail")
+	}
+	v, _, ok = parseUint32Field([]byte("4294967295"))
+	if !ok || v != 4294967295 {
+		t.Fatal("max uint32 should parse")
+	}
+}
+
+func BenchmarkParseSequential(b *testing.B) {
+	input := syntheticEdgeText(200000)
+	b.SetBytes(int64(len(input)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := LoadEdgeList(strings.NewReader(input), 0, DefaultOptions()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkParseParallel(b *testing.B) {
+	input := syntheticEdgeText(200000)
+	b.SetBytes(int64(len(input)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := LoadEdgeListParallel(strings.NewReader(input), 0, DefaultOptions()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func syntheticEdgeText(m int) string {
+	s := rng.New(3, 0)
+	var sb strings.Builder
+	for i := 0; i < m; i++ {
+		fmt.Fprintf(&sb, "%d %d\n", s.Intn(50000), s.Intn(50000))
+	}
+	return sb.String()
+}

@@ -1,0 +1,64 @@
+package graph
+
+// LargestComponent extracts the largest connected component as a new graph
+// with vertices renumbered densely. It returns the subgraph, a mapping
+// old→new vertex IDs (-1 for vertices outside the component), and the
+// inverse mapping new→old. Embedding pipelines conventionally run on the
+// largest component — isolated fragments only add factorization noise —
+// and the paper's web-graph datasets are distributed as "-Sym" largest
+// components for the same reason.
+func (g *Graph) LargestComponent() (*Graph, []int32, []uint32, error) {
+	labels, _ := g.ConnectedComponents()
+	// Find the most frequent label.
+	counts := map[uint32]int{}
+	for _, l := range labels {
+		counts[l]++
+	}
+	var best uint32
+	bestCount := -1
+	for l, c := range counts {
+		if c > bestCount || (c == bestCount && l < best) {
+			best, bestCount = l, c
+		}
+	}
+	oldToNew := make([]int32, g.n)
+	var newToOld []uint32
+	for v := 0; v < g.n; v++ {
+		if labels[v] == best {
+			oldToNew[v] = int32(len(newToOld))
+			newToOld = append(newToOld, uint32(v))
+		} else {
+			oldToNew[v] = -1
+		}
+	}
+	var arcs []Edge
+	var warcs []WeightedEdge
+	weighted := g.Weighted()
+	for newU, oldU := range newToOld {
+		d := g.Degree(oldU)
+		for i := 0; i < d; i++ {
+			oldV := g.Neighbor(oldU, i)
+			newV := oldToNew[oldV]
+			if newV < 0 || uint32(newU) >= uint32(newV) {
+				continue // keep one orientation; symmetrize below
+			}
+			if weighted {
+				warcs = append(warcs, WeightedEdge{U: uint32(newU), V: uint32(newV), W: g.EdgeWeight(oldU, i)})
+			} else {
+				arcs = append(arcs, Edge{U: uint32(newU), V: uint32(newV)})
+			}
+		}
+	}
+	opt := DefaultOptions()
+	var sub *Graph
+	var err error
+	if weighted {
+		sub, err = FromWeightedEdges(len(newToOld), warcs, opt)
+	} else {
+		sub, err = FromEdges(len(newToOld), arcs, opt)
+	}
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return sub, oldToNew, newToOld, nil
+}

@@ -1,0 +1,80 @@
+package graph
+
+import "testing"
+
+func TestLargestComponent(t *testing.T) {
+	// Component A: 0-1-2-3 (size 4); component B: 4-5 (size 2); 6 isolated.
+	arcs := []Edge{{U: 0, V: 1}, {U: 1, V: 2}, {U: 2, V: 3}, {U: 4, V: 5}}
+	g, err := FromEdges(7, arcs, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub, oldToNew, newToOld, err := g.LargestComponent()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sub.NumVertices() != 4 {
+		t.Fatalf("LCC size %d want 4", sub.NumVertices())
+	}
+	if sub.NumEdges() != 6 {
+		t.Fatalf("LCC arcs %d want 6", sub.NumEdges())
+	}
+	for old := 0; old < 4; old++ {
+		if oldToNew[old] < 0 {
+			t.Fatalf("vertex %d should be in LCC", old)
+		}
+		if int(newToOld[oldToNew[old]]) != old {
+			t.Fatal("mappings not inverse")
+		}
+	}
+	for old := 4; old < 7; old++ {
+		if oldToNew[old] != -1 {
+			t.Fatalf("vertex %d should be outside LCC", old)
+		}
+	}
+	// Adjacency preserved under renumbering.
+	u, v := oldToNew[1], oldToNew[2]
+	found := false
+	for _, nb := range sub.Neighbors(uint32(u), nil) {
+		if nb == uint32(v) {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("edge (1,2) lost in subgraph")
+	}
+}
+
+func TestLargestComponentWeighted(t *testing.T) {
+	warcs := []WeightedEdge{{U: 0, V: 1, W: 2.5}, {U: 1, V: 2, W: 1}, {U: 3, V: 4, W: 9}}
+	g, err := FromWeightedEdges(5, warcs, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub, oldToNew, _, err := g.LargestComponent()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sub.NumVertices() != 3 || !sub.Weighted() {
+		t.Fatalf("weighted LCC wrong: n=%d weighted=%v", sub.NumVertices(), sub.Weighted())
+	}
+	u := uint32(oldToNew[0])
+	if got := sub.EdgeWeight(u, 0); got != 2.5 {
+		t.Fatalf("weight lost: %g", got)
+	}
+}
+
+func TestLargestComponentWholeGraph(t *testing.T) {
+	arcs := []Edge{{U: 0, V: 1}, {U: 1, V: 2}}
+	g, err := FromEdges(3, arcs, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub, _, _, err := g.LargestComponent()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sub.NumVertices() != 3 || sub.NumEdges() != g.NumEdges() {
+		t.Fatal("connected graph should come back whole")
+	}
+}

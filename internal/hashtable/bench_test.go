@@ -1,0 +1,53 @@
+package hashtable
+
+import (
+	"sync"
+	"testing"
+
+	"lightne/internal/rng"
+)
+
+func BenchmarkAddSingleWorker(b *testing.B) {
+	t := New(1 << 20)
+	s := rng.New(1, 0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k := uint32(s.Intn(1 << 18))
+		t.Add(k, k^0x5555, 1)
+	}
+}
+
+func BenchmarkAddContended(b *testing.B) {
+	// All workers hammer a small key set: stresses the atomic-add path.
+	t := New(1 << 12)
+	workers := 8
+	b.ResetTimer()
+	var wg sync.WaitGroup
+	per := b.N/workers + 1
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(id int) {
+			defer wg.Done()
+			s := rng.New(9, uint64(id))
+			for i := 0; i < per; i++ {
+				k := uint32(s.Intn(64))
+				t.Add(k, k, 1)
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+func BenchmarkDrain(b *testing.B) {
+	t := New(1 << 18)
+	for i := 0; i < 1<<17; i++ {
+		t.Add(uint32(i), uint32(i), 1)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		us, _, _ := t.Drain()
+		if len(us) == 0 {
+			b.Fatal("empty drain")
+		}
+	}
+}

@@ -1,0 +1,116 @@
+package hashtable
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"lightne/internal/rng"
+)
+
+func TestCompactMatchesFullTable(t *testing.T) {
+	s := rng.New(17, 0)
+	full := New(64)
+	compact := NewCompact(64)
+	for i := 0; i < 30000; i++ {
+		u := uint32(s.Intn(200))
+		v := uint32(s.Intn(200))
+		w := 0.25 * float64(1+s.Intn(8))
+		full.Add(u, v, w)
+		compact.Add(u, v, w)
+	}
+	if full.Len() != compact.Len() {
+		t.Fatalf("Len %d vs %d", full.Len(), compact.Len())
+	}
+	us, vs, ws := full.Drain()
+	for i := range us {
+		got, ok := compact.Get(us[i], vs[i])
+		if !ok {
+			t.Fatalf("compact missing (%d,%d)", us[i], vs[i])
+		}
+		// Compact has coarser resolution (2^-10 per increment, accumulated).
+		if math.Abs(got-ws[i]) > 1e-2*math.Max(1, ws[i]) {
+			t.Fatalf("(%d,%d): compact %g vs full %g", us[i], vs[i], got, ws[i])
+		}
+	}
+}
+
+func TestCompactMemorySavings(t *testing.T) {
+	full := New(1 << 16)
+	compact := NewCompact(1 << 16)
+	if compact.Capacity() != full.Capacity() {
+		t.Fatalf("capacities differ: %d vs %d", compact.Capacity(), full.Capacity())
+	}
+	ratio := float64(compact.MemoryBytes()) / float64(full.MemoryBytes())
+	if math.Abs(ratio-0.75) > 1e-9 {
+		t.Fatalf("memory ratio %.3f, want 0.75 (12B vs 16B slots)", ratio)
+	}
+}
+
+func TestCompactFixedPointRoundtrip(t *testing.T) {
+	for _, w := range []float64{0, 1, 0.5, 1000.25, 4e6} {
+		got := FromCompactFixed(ToCompactFixed(w))
+		if math.Abs(got-w) > 1.0/(1<<CompactFixedPointShift) {
+			t.Fatalf("roundtrip %g -> %g", w, got)
+		}
+	}
+}
+
+func TestCompactConcurrentExactCounts(t *testing.T) {
+	tab := NewCompact(1024)
+	const workers, perWorker, distinct = 8, 30000, 300
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(id int) {
+			defer wg.Done()
+			s := rng.New(3, uint64(id))
+			for i := 0; i < perWorker; i++ {
+				k := s.Intn(distinct)
+				tab.Add(uint32(k), uint32(k%13), 1)
+			}
+		}(w)
+	}
+	wg.Wait()
+	_, _, ws := tab.Drain()
+	var total float64
+	for _, w := range ws {
+		total += w
+	}
+	if math.Abs(total-workers*perWorker) > 1 {
+		t.Fatalf("total %.1f want %d", total, workers*perWorker)
+	}
+}
+
+func TestCompactGrowth(t *testing.T) {
+	tab := NewCompact(0)
+	n := 5000
+	for i := 0; i < n; i++ {
+		tab.Add(uint32(i), uint32(i), 2)
+	}
+	if tab.Len() != n {
+		t.Fatalf("Len=%d want %d", tab.Len(), n)
+	}
+	for _, i := range []int{0, n / 2, n - 1} {
+		w, ok := tab.Get(uint32(i), uint32(i))
+		if !ok || math.Abs(w-2) > 1e-3 {
+			t.Fatalf("key %d: (%g,%v)", i, w, ok)
+		}
+	}
+}
+
+func TestCompactForEach(t *testing.T) {
+	tab := NewCompact(16)
+	tab.Add(1, 2, 3)
+	tab.Add(4, 5, 6)
+	var mu sync.Mutex
+	seen := map[uint64]float64{}
+	tab.ForEach(func(u, v uint32, w float64) {
+		mu.Lock()
+		seen[Key(u, v)] = w
+		mu.Unlock()
+	})
+	if len(seen) != 2 || math.Abs(seen[Key(1, 2)]-3) > 1e-3 {
+		t.Fatalf("ForEach saw %v", seen)
+	}
+}

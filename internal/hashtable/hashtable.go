@@ -1,0 +1,218 @@
+// Package hashtable implements the sparse parallel hash table LightNE uses
+// to aggregate PathSampling results into the sparsifier (paper §4.2,
+// "Sparse Parallel Hashing"). It is the folklore concurrent open-addressing
+// table: linear probing, no deletions, lock-free inserts via compare-and-swap
+// on the key slot, and weight accumulation via atomic fetch-and-add — Go's
+// atomic.AddUint64 compiles to the LOCK XADD instruction the paper singles
+// out as decisively faster than a CAS loop under contention.
+//
+// Weights are stored in 44.20 fixed point (2^-20 resolution) so that
+// accumulation is a single integer xadd rather than a CAS loop on float
+// bits; exactness of *counts* is preserved (each sample adds the identical
+// fixed-point increment), matching the paper's "exact count of each edge"
+// guarantee.
+//
+// Growth is handled with a readers-writer lock: inserts hold the read side
+// (uncontended in steady state), and a full table triggers a single-writer
+// rehash to double capacity. Callers that can estimate the number of
+// distinct keys should presize via New's capacity hint to avoid growth
+// entirely, as LightNE's sampler does.
+package hashtable
+
+import (
+	"math/bits"
+	"sync"
+	"sync/atomic"
+
+	"lightne/internal/par"
+)
+
+const (
+	emptyKey = ^uint64(0)
+	// FixedPointShift is the number of fractional bits in stored weights.
+	FixedPointShift = 20
+	// fixedOne is 1.0 in fixed point.
+	fixedOne = 1 << FixedPointShift
+	// maxLoadNum/maxLoadDen is the load factor at which the table grows.
+	maxLoadNum, maxLoadDen = 7, 8
+)
+
+// Key packs a directed edge (u, v) into the table's key space.
+// The pair (0xffffffff, 0xffffffff) is reserved.
+func Key(u, v uint32) uint64 { return uint64(u)<<32 | uint64(v) }
+
+// UnpackKey splits a packed key back into (u, v).
+func UnpackKey(k uint64) (u, v uint32) { return uint32(k >> 32), uint32(k) }
+
+// ToFixed converts a weight to fixed point, rounding to nearest.
+func ToFixed(w float64) uint64 { return uint64(w*fixedOne + 0.5) }
+
+// FromFixed converts a fixed-point weight back to float64.
+func FromFixed(f uint64) float64 { return float64(f) / fixedOne }
+
+// Table is a concurrent weighted-count hash table keyed by packed edges.
+type Table struct {
+	mu    sync.RWMutex
+	keys  []uint64
+	vals  []uint64
+	mask  uint64
+	count int64 // distinct keys, updated atomically
+}
+
+// New returns a table presized to hold capacityHint distinct keys without
+// growing. A hint <= 0 selects a small default.
+func New(capacityHint int) *Table {
+	if capacityHint < 16 {
+		capacityHint = 16
+	}
+	// Size so that capacityHint keys sit below the max load factor.
+	need := uint64(capacityHint) * maxLoadDen / maxLoadNum
+	cap64 := uint64(1) << bits.Len64(need)
+	t := &Table{}
+	t.init(cap64)
+	return t
+}
+
+func (t *Table) init(capacity uint64) {
+	t.keys = make([]uint64, capacity)
+	for i := range t.keys {
+		t.keys[i] = emptyKey
+	}
+	t.vals = make([]uint64, capacity)
+	t.mask = capacity - 1
+}
+
+// hash mixes a packed key (SplitMix64 finalizer).
+func hash(k uint64) uint64 {
+	k = (k ^ (k >> 30)) * 0xbf58476d1ce4e5b9
+	k = (k ^ (k >> 27)) * 0x94d049bb133111eb
+	return k ^ (k >> 31)
+}
+
+// Add accumulates weight w onto key (u, v), inserting it if absent.
+// Safe for concurrent use.
+func (t *Table) Add(u, v uint32, w float64) {
+	t.AddFixed(Key(u, v), ToFixed(w))
+}
+
+// AddFixed accumulates a fixed-point weight onto a packed key.
+func (t *Table) AddFixed(key, fixed uint64) {
+	for {
+		t.mu.RLock()
+		ok := t.tryAdd(key, fixed)
+		t.mu.RUnlock()
+		if ok {
+			return
+		}
+		t.grow()
+	}
+}
+
+// tryAdd attempts a lock-free insert-or-accumulate. It reports false if the
+// table is at its load limit (the caller must grow and retry).
+func (t *Table) tryAdd(key, fixed uint64) bool {
+	i := hash(key) & t.mask
+	for {
+		k := atomic.LoadUint64(&t.keys[i])
+		if k == key {
+			atomic.AddUint64(&t.vals[i], fixed)
+			return true
+		}
+		if k == emptyKey {
+			// Respect the load factor before claiming a new slot.
+			if atomic.LoadInt64(&t.count)*maxLoadDen >= int64(t.mask+1)*maxLoadNum {
+				return false
+			}
+			if atomic.CompareAndSwapUint64(&t.keys[i], emptyKey, key) {
+				atomic.AddInt64(&t.count, 1)
+				atomic.AddUint64(&t.vals[i], fixed)
+				return true
+			}
+			// Lost the race; reinspect this slot (it may now hold our key).
+			continue
+		}
+		i = (i + 1) & t.mask
+	}
+}
+
+// grow doubles capacity. Only one writer rehashes; concurrent Adds wait.
+func (t *Table) grow() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if atomic.LoadInt64(&t.count)*maxLoadDen < int64(t.mask+1)*maxLoadNum {
+		return // another goroutine already grew
+	}
+	oldKeys, oldVals := t.keys, t.vals
+	t.init((t.mask + 1) * 2)
+	for i, k := range oldKeys {
+		if k == emptyKey {
+			continue
+		}
+		j := hash(k) & t.mask
+		for t.keys[j] != emptyKey {
+			j = (j + 1) & t.mask
+		}
+		t.keys[j] = k
+		t.vals[j] = oldVals[i]
+	}
+}
+
+// Len returns the number of distinct keys.
+func (t *Table) Len() int { return int(atomic.LoadInt64(&t.count)) }
+
+// Capacity returns the current slot count.
+func (t *Table) Capacity() int { return len(t.keys) }
+
+// MemoryBytes returns the table's slot storage footprint.
+func (t *Table) MemoryBytes() int64 { return int64(len(t.keys)) * 16 }
+
+// Get returns the accumulated weight for (u, v) and whether it is present.
+// Safe for concurrent use with Add.
+func (t *Table) Get(u, v uint32) (float64, bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	key := Key(u, v)
+	i := hash(key) & t.mask
+	for {
+		k := atomic.LoadUint64(&t.keys[i])
+		if k == key {
+			return FromFixed(atomic.LoadUint64(&t.vals[i])), true
+		}
+		if k == emptyKey {
+			return 0, false
+		}
+		i = (i + 1) & t.mask
+	}
+}
+
+// ForEach calls fn for every (key, weight) pair, in parallel over slots.
+// Must not run concurrently with Add.
+func (t *Table) ForEach(fn func(u, v uint32, w float64)) {
+	par.For(len(t.keys), 4096, func(i int) {
+		k := t.keys[i]
+		if k == emptyKey {
+			return
+		}
+		u, v := UnpackKey(k)
+		fn(u, v, FromFixed(t.vals[i]))
+	})
+}
+
+// Drain returns all entries as parallel slices (unordered) and keeps the
+// table intact. Must not run concurrently with Add.
+func (t *Table) Drain() (us, vs []uint32, ws []float64) {
+	n := t.Len()
+	us = make([]uint32, 0, n)
+	vs = make([]uint32, 0, n)
+	ws = make([]float64, 0, n)
+	for i, k := range t.keys {
+		if k == emptyKey {
+			continue
+		}
+		u, v := UnpackKey(k)
+		us = append(us, u)
+		vs = append(vs, v)
+		ws = append(ws, FromFixed(t.vals[i]))
+	}
+	return us, vs, ws
+}

@@ -1,0 +1,198 @@
+package hashtable
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"lightne/internal/rng"
+)
+
+func TestKeyPackUnpack(t *testing.T) {
+	f := func(u, v uint32) bool {
+		gu, gv := UnpackKey(Key(u, v))
+		return gu == u && gv == v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFixedPointRoundtrip(t *testing.T) {
+	for _, w := range []float64{0, 1, 0.5, 3.25, 1000.125, 1e6} {
+		got := FromFixed(ToFixed(w))
+		if math.Abs(got-w) > 1.0/(1<<FixedPointShift) {
+			t.Fatalf("fixed roundtrip %g -> %g", w, got)
+		}
+	}
+}
+
+func TestAddGet(t *testing.T) {
+	tab := New(8)
+	tab.Add(1, 2, 1.5)
+	tab.Add(1, 2, 2.5)
+	tab.Add(3, 4, 1)
+	if tab.Len() != 2 {
+		t.Fatalf("Len=%d want 2", tab.Len())
+	}
+	w, ok := tab.Get(1, 2)
+	if !ok || math.Abs(w-4) > 1e-5 {
+		t.Fatalf("Get(1,2)=(%g,%v)", w, ok)
+	}
+	if _, ok := tab.Get(9, 9); ok {
+		t.Fatal("Get of absent key returned ok")
+	}
+}
+
+func TestAgainstMapOracle(t *testing.T) {
+	s := rng.New(31, 0)
+	tab := New(64)
+	oracle := map[uint64]float64{}
+	for i := 0; i < 20000; i++ {
+		u := uint32(s.Intn(100))
+		v := uint32(s.Intn(100))
+		w := float64(s.Intn(8)) * 0.25
+		tab.Add(u, v, w)
+		oracle[Key(u, v)] += w
+	}
+	if tab.Len() != len(oracle) {
+		t.Fatalf("Len=%d oracle=%d", tab.Len(), len(oracle))
+	}
+	for k, want := range oracle {
+		u, v := UnpackKey(k)
+		got, ok := tab.Get(u, v)
+		if !ok {
+			t.Fatalf("missing key (%d,%d)", u, v)
+		}
+		if math.Abs(got-want) > 1e-3 {
+			t.Fatalf("key (%d,%d): got %g want %g", u, v, got, want)
+		}
+	}
+}
+
+func TestGrowthFromTiny(t *testing.T) {
+	tab := New(0)
+	n := 10000
+	for i := 0; i < n; i++ {
+		tab.Add(uint32(i), uint32(i), 1)
+	}
+	if tab.Len() != n {
+		t.Fatalf("Len=%d want %d", tab.Len(), n)
+	}
+	for i := 0; i < n; i++ {
+		w, ok := tab.Get(uint32(i), uint32(i))
+		if !ok || w != 1 {
+			t.Fatalf("key %d: (%g,%v)", i, w, ok)
+		}
+	}
+}
+
+func TestConcurrentExactCounts(t *testing.T) {
+	// The paper's key guarantee: every sample is accounted for exactly.
+	tab := New(1024)
+	const workers = 8
+	const perWorker = 50000
+	const distinct = 500
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(id int) {
+			defer wg.Done()
+			s := rng.New(7, uint64(id))
+			for i := 0; i < perWorker; i++ {
+				k := s.Intn(distinct)
+				tab.Add(uint32(k), uint32(k%17), 1)
+			}
+		}(w)
+	}
+	wg.Wait()
+	var total float64
+	tab.ForEach(func(u, v uint32, w float64) {
+		// fn may run in parallel; accumulate via channel-free trick below.
+	})
+	_, _, ws := tab.Drain()
+	for _, w := range ws {
+		total += w
+	}
+	if math.Abs(total-workers*perWorker) > 1e-3 {
+		t.Fatalf("total weight %.3f want %d (lost or duplicated samples)", total, workers*perWorker)
+	}
+}
+
+func TestConcurrentGrowth(t *testing.T) {
+	// Force growth races: tiny initial table, many concurrent distinct keys.
+	tab := New(0)
+	const workers = 8
+	const perWorker = 20000
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(id int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				key := uint32(id*perWorker + i)
+				tab.Add(key, key+1, 0.5)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if tab.Len() != workers*perWorker {
+		t.Fatalf("Len=%d want %d", tab.Len(), workers*perWorker)
+	}
+	// Spot-check a sample of keys.
+	for id := 0; id < workers; id++ {
+		for _, i := range []int{0, perWorker / 2, perWorker - 1} {
+			key := uint32(id*perWorker + i)
+			w, ok := tab.Get(key, key+1)
+			if !ok || math.Abs(w-0.5) > 1e-5 {
+				t.Fatalf("key %d: (%g,%v)", key, w, ok)
+			}
+		}
+	}
+}
+
+func TestForEachVisitsAll(t *testing.T) {
+	tab := New(16)
+	want := map[uint64]float64{}
+	for i := 0; i < 100; i++ {
+		tab.Add(uint32(i), uint32(2*i), float64(i))
+		want[Key(uint32(i), uint32(2*i))] = float64(i)
+	}
+	var mu sync.Mutex
+	got := map[uint64]float64{}
+	tab.ForEach(func(u, v uint32, w float64) {
+		mu.Lock()
+		got[Key(u, v)] = w
+		mu.Unlock()
+	})
+	if len(got) != len(want) {
+		t.Fatalf("ForEach visited %d keys want %d", len(got), len(want))
+	}
+	for k, w := range want {
+		if math.Abs(got[k]-w) > 1e-5 {
+			t.Fatalf("key %d: got %g want %g", k, got[k], w)
+		}
+	}
+}
+
+func TestDrain(t *testing.T) {
+	tab := New(16)
+	tab.Add(5, 6, 2)
+	tab.Add(7, 8, 3)
+	us, vs, ws := tab.Drain()
+	if len(us) != 2 || len(vs) != 2 || len(ws) != 2 {
+		t.Fatalf("Drain lengths %d %d %d", len(us), len(vs), len(ws))
+	}
+	sum := ws[0] + ws[1]
+	if math.Abs(sum-5) > 1e-5 {
+		t.Fatalf("weights %v", ws)
+	}
+}
+
+func TestMemoryBytes(t *testing.T) {
+	tab := New(1000)
+	if tab.MemoryBytes() != int64(tab.Capacity())*16 {
+		t.Fatalf("MemoryBytes=%d capacity=%d", tab.MemoryBytes(), tab.Capacity())
+	}
+}

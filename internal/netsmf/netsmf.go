@@ -1,0 +1,172 @@
+// Package netsmf implements the first stage of LightNE: NetSMF-style
+// construction of a sparse, spectrally faithful approximation of the NetMF
+// matrix (paper Eq. 1)
+//
+//	M = trunc_log( vol(G)/(bT) · Σ_{r=1..T} (D⁻¹A)^r D⁻¹ )
+//
+// via PathSampling with LightNE's edge downsampling, followed by randomized
+// SVD to produce the embedding X = U·Σ^{1/2}.
+//
+// Estimator. For a sample of length r from arc (u,v) ending at (u',v'),
+// reversibility of the walk gives
+//
+//	Pr[(u',v')] = d_{u'}·(P^r)_{u'v'} / vol(G)
+//
+// independent of the split point s, so the weighted sample counts W (each
+// sample is inserted in both orientations, and downsampled heads carry
+// weight 1/p_e) satisfy
+//
+//	E[W_{uv}] = 2·M̂/(T·vol) · d_u · Σ_r (P^r)_{uv},
+//
+// hence vol²·W / (2·b·M̂·d_u·d_v) is an unbiased estimate of the matrix
+// inside trunc_log in Eq. 1 (the 1/T average is absorbed because r is drawn
+// uniformly from [1, T]). Setting Downsample=false and letting M grow
+// recovers the original NetSMF, which this package also serves as (it is
+// the paper's NetSMF baseline).
+package netsmf
+
+import (
+	"fmt"
+	"time"
+
+	"lightne/internal/dense"
+	"lightne/internal/graph"
+	"lightne/internal/hashtable"
+	"lightne/internal/sampler"
+	"lightne/internal/sparse"
+	"lightne/internal/svd"
+)
+
+// Config controls a NetSMF factorization.
+type Config struct {
+	// T is the context window size (paper default 10).
+	T int
+	// M is the target number of PathSampling trials. The paper expresses it
+	// as multiples of T·m; use MFromMultiple to derive it.
+	M int64
+	// Dim is the embedding dimension d.
+	Dim int
+	// NegSamples is b, the number of negative samples (paper default 1).
+	NegSamples float64
+	// Downsample enables LightNE's degree-based edge downsampling.
+	Downsample bool
+	// C overrides the downsampling constant (<= 0 → log n).
+	C float64
+	// Seed fixes all randomness.
+	Seed uint64
+	// Oversample and PowerIters tune the randomized SVD (0, 0 = paper).
+	Oversample int
+	PowerIters int
+	// BatchedWalks selects the radix-batched walking schedule — the
+	// locality optimization the paper names as future work (§4.2).
+	// Unweighted graphs only.
+	BatchedWalks bool
+}
+
+// MFromMultiple returns M = mult·T·m for a graph with m undirected edges
+// (NumEdges()/2 arcs), the parameterization used throughout the paper's
+// evaluation (e.g. LightNE-Small = 0.1·T·m, LightNE-Large = 20·T·m).
+func MFromMultiple(g *graph.Graph, t int, mult float64) int64 {
+	m := float64(g.NumEdges()) / 2
+	v := mult * float64(t) * m
+	if v < 1 {
+		return 1
+	}
+	return int64(v)
+}
+
+// Timing is the per-stage wall-clock breakdown (paper Table 5 columns).
+type Timing struct {
+	Sparsifier time.Duration // parallel sparsifier construction
+	SVD        time.Duration // randomized SVD
+}
+
+// Result bundles the embedding with diagnostics.
+type Result struct {
+	// Embedding is the n×d matrix X = U·Σ^{1/2}.
+	Embedding *dense.Matrix
+	// Sigma holds the singular values of the factorized matrix.
+	Sigma []float64
+	// SparsifierNNZ is the nonzero count of the matrix handed to the SVD
+	// (after trunc_log pruning).
+	SparsifierNNZ int64
+	// SampleStats reports the sampling pass.
+	SampleStats sampler.Stats
+	// Timing is the stage breakdown.
+	Timing Timing
+}
+
+// Run executes the NetSMF stage on g.
+func Run(g *graph.Graph, cfg Config) (*Result, error) {
+	if cfg.Dim <= 0 {
+		return nil, fmt.Errorf("netsmf: dimension must be positive, got %d", cfg.Dim)
+	}
+	b := cfg.NegSamples
+	if b <= 0 {
+		b = 1
+	}
+
+	start := time.Now()
+	scfg := sampler.Config{
+		T:          cfg.T,
+		M:          cfg.M,
+		Downsample: cfg.Downsample,
+		C:          cfg.C,
+		Seed:       cfg.Seed,
+	}
+	var table *hashtable.Table
+	var stats sampler.Stats
+	var err error
+	if cfg.BatchedWalks {
+		table, stats, err = sampler.SampleBatched(g, scfg, 0)
+	} else {
+		table, stats, err = sampler.Sample(g, scfg)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("netsmf: sampling: %w", err)
+	}
+	us, vsCols, ws := table.Drain()
+	mat, err := BuildMatrix(g, us, vsCols, ws, b, stats.Trials)
+	if err != nil {
+		return nil, err
+	}
+	sparsifierTime := time.Since(start)
+
+	start = time.Now()
+	res, err := svd.RandomizedSVD(mat, cfg.Dim, svd.Options{
+		Seed:       cfg.Seed + 1,
+		Oversample: cfg.Oversample,
+		PowerIters: cfg.PowerIters,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("netsmf: svd: %w", err)
+	}
+	x := svd.EmbedFromSVD(res)
+	svdTime := time.Since(start)
+
+	return &Result{
+		Embedding:     x,
+		Sigma:         res.Sigma,
+		SparsifierNNZ: mat.NNZ(),
+		SampleStats:   stats,
+		Timing:        Timing{Sparsifier: sparsifierTime, SVD: svdTime},
+	}, nil
+}
+
+// BuildMatrix converts drained sampler output into the trunc-log NetMF
+// matrix estimate. b is the negative-sample count and trials the realized
+// sample count M̂ used in the unbiased scaling (see the package comment).
+func BuildMatrix(g *graph.Graph, us, vs []uint32, ws []float64, b float64, trials int64) (*sparse.CSR, error) {
+	n := g.NumVertices()
+	mat, err := sparse.FromCOO(n, n, us, vs, ws)
+	if err != nil {
+		return nil, fmt.Errorf("netsmf: building sparsifier: %w", err)
+	}
+	vol := g.Volume()
+	deg := g.Strengths() // weighted degrees; equals Degrees for unweighted graphs
+	scale := vol * vol / (2 * b * float64(trials))
+	mat.Apply(func(i int, j uint32, v float64) float64 {
+		return v * scale / (deg[i] * deg[j])
+	})
+	return mat.TruncLog(), nil
+}

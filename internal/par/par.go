@@ -1,0 +1,258 @@
+// Package par provides lightweight data-parallel primitives used throughout
+// the LightNE system: a grained parallel-for, parallel reductions, and
+// prefix sums. It is the Go substitute for the bulk-parallel operations the
+// paper obtains from GBBS/Ligra (fork-join with work stealing).
+//
+// All primitives degrade gracefully to sequential execution when
+// GOMAXPROCS is 1 or the input is below the grain size, so small inputs pay
+// no goroutine overhead.
+package par
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// DefaultGrain is the minimum number of loop iterations a single worker
+// processes per chunk. Chosen so that per-chunk scheduling overhead is well
+// under 1% for trivial loop bodies.
+const DefaultGrain = 2048
+
+// Workers returns the degree of parallelism primitives in this package use.
+func Workers() int {
+	return runtime.GOMAXPROCS(0)
+}
+
+// For runs body(i) for every i in [0, n) in parallel, splitting the index
+// space into contiguous chunks of at least grain iterations. If grain <= 0,
+// DefaultGrain is used. body must be safe to call concurrently for distinct
+// indices.
+func For(n, grain int, body func(i int)) {
+	ForRange(n, grain, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			body(i)
+		}
+	})
+}
+
+// ForRange runs body(lo, hi) over disjoint contiguous subranges covering
+// [0, n). It is the chunked form of For: use it when the body can amortize
+// per-chunk setup (e.g. a local RNG or buffer) across many iterations.
+func ForRange(n, grain int, body func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	if grain <= 0 {
+		grain = DefaultGrain
+	}
+	p := Workers()
+	if p == 1 || n <= grain {
+		body(0, n)
+		return
+	}
+	// Shoot for ~4 chunks per worker so that uneven bodies load-balance,
+	// while respecting the grain floor.
+	chunks := p * 4
+	if maxChunks := (n + grain - 1) / grain; chunks > maxChunks {
+		chunks = maxChunks
+	}
+	if chunks <= 1 {
+		body(0, n)
+		return
+	}
+	var next int64
+	size := (n + chunks - 1) / chunks
+	var wg sync.WaitGroup
+	workers := p
+	if workers > chunks {
+		workers = chunks
+	}
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				c := int(atomic.AddInt64(&next, 1)) - 1
+				lo := c * size
+				if lo >= n {
+					return
+				}
+				hi := lo + size
+				if hi > n {
+					hi = n
+				}
+				body(lo, hi)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// WorkerFor runs body(worker, lo, hi) like ForRange but additionally passes
+// a dense worker index in [0, Workers()) so the body can use per-worker
+// scratch state (RNGs, buffers) without allocation or contention. Multiple
+// chunks may be processed by the same worker index, but two chunks never run
+// concurrently under the same worker index.
+func WorkerFor(n, grain int, body func(worker, lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	if grain <= 0 {
+		grain = DefaultGrain
+	}
+	p := Workers()
+	if p == 1 || n <= grain {
+		body(0, 0, n)
+		return
+	}
+	chunks := p * 4
+	if maxChunks := (n + grain - 1) / grain; chunks > maxChunks {
+		chunks = maxChunks
+	}
+	if chunks <= 1 {
+		body(0, 0, n)
+		return
+	}
+	var next int64
+	size := (n + chunks - 1) / chunks
+	var wg sync.WaitGroup
+	workers := p
+	if workers > chunks {
+		workers = chunks
+	}
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(worker int) {
+			defer wg.Done()
+			for {
+				c := int(atomic.AddInt64(&next, 1)) - 1
+				lo := c * size
+				if lo >= n {
+					return
+				}
+				hi := lo + size
+				if hi > n {
+					hi = n
+				}
+				body(worker, lo, hi)
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+// Do runs the given functions concurrently and waits for all of them.
+func Do(fns ...func()) {
+	if len(fns) == 0 {
+		return
+	}
+	if len(fns) == 1 || Workers() == 1 {
+		for _, fn := range fns {
+			fn()
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(len(fns) - 1)
+	for _, fn := range fns[1:] {
+		go func(f func()) {
+			defer wg.Done()
+			f()
+		}(fn)
+	}
+	fns[0]()
+	wg.Wait()
+}
+
+// ReduceFloat64 computes the sum of f(i) for i in [0, n) in parallel.
+// Summation order is deterministic for a fixed n, grain and worker count
+// within each chunk, but chunk combination order is fixed (by chunk index),
+// so results are reproducible run to run.
+func ReduceFloat64(n, grain int, f func(i int) float64) float64 {
+	if n <= 0 {
+		return 0
+	}
+	if grain <= 0 {
+		grain = DefaultGrain
+	}
+	p := Workers()
+	if p == 1 || n <= grain {
+		var s float64
+		for i := 0; i < n; i++ {
+			s += f(i)
+		}
+		return s
+	}
+	chunks := p * 4
+	if maxChunks := (n + grain - 1) / grain; chunks > maxChunks {
+		chunks = maxChunks
+	}
+	size := (n + chunks - 1) / chunks
+	partial := make([]float64, chunks)
+	ForRange(n, grain, func(lo, hi int) {
+		var s float64
+		for i := lo; i < hi; i++ {
+			s += f(i)
+		}
+		partial[lo/size] += s
+	})
+	var s float64
+	for _, v := range partial {
+		s += v
+	}
+	return s
+}
+
+// ReduceInt64 computes the sum of f(i) for i in [0, n) in parallel.
+func ReduceInt64(n, grain int, f func(i int) int64) int64 {
+	if n <= 0 {
+		return 0
+	}
+	var s int64
+	ForRange(n, grain, func(lo, hi int) {
+		var local int64
+		for i := lo; i < hi; i++ {
+			local += f(i)
+		}
+		atomic.AddInt64(&s, local)
+	})
+	return s
+}
+
+// MaxInt64 computes the maximum of f(i) for i in [0, n) in parallel.
+// It returns the provided identity when n <= 0.
+func MaxInt64(n, grain int, identity int64, f func(i int) int64) int64 {
+	if n <= 0 {
+		return identity
+	}
+	var mu sync.Mutex
+	best := identity
+	ForRange(n, grain, func(lo, hi int) {
+		local := identity
+		for i := lo; i < hi; i++ {
+			if v := f(i); v > local {
+				local = v
+			}
+		}
+		mu.Lock()
+		if local > best {
+			best = local
+		}
+		mu.Unlock()
+	})
+	return best
+}
+
+// ExclusiveScan replaces counts with its exclusive prefix sum and returns the
+// total. counts[i] on return is the sum of the original counts[0:i]. The scan
+// is sequential: it is O(n) and in practice never the bottleneck next to the
+// work that produced the counts.
+func ExclusiveScan(counts []int64) int64 {
+	var total int64
+	for i, c := range counts {
+		counts[i] = total
+		total += c
+	}
+	return total
+}

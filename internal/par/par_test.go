@@ -1,0 +1,201 @@
+package par
+
+import (
+	"math"
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+func TestForCoversAllIndices(t *testing.T) {
+	for _, n := range []int{0, 1, 7, 100, 5000, 100001} {
+		seen := make([]int32, n)
+		For(n, 16, func(i int) { atomic.AddInt32(&seen[i], 1) })
+		for i, c := range seen {
+			if c != 1 {
+				t.Fatalf("n=%d: index %d visited %d times", n, i, c)
+			}
+		}
+	}
+}
+
+func TestForRangeDisjointCover(t *testing.T) {
+	n := 123457
+	seen := make([]int32, n)
+	ForRange(n, 100, func(lo, hi int) {
+		if lo < 0 || hi > n || lo > hi {
+			t.Errorf("bad range [%d,%d)", lo, hi)
+		}
+		for i := lo; i < hi; i++ {
+			atomic.AddInt32(&seen[i], 1)
+		}
+	})
+	for i, c := range seen {
+		if c != 1 {
+			t.Fatalf("index %d visited %d times", i, c)
+		}
+	}
+}
+
+func TestWorkerForWorkerIndexInRange(t *testing.T) {
+	n := 50000
+	p := Workers()
+	var visited int64
+	WorkerFor(n, 64, func(worker, lo, hi int) {
+		if worker < 0 || worker >= p {
+			t.Errorf("worker index %d out of [0,%d)", worker, p)
+		}
+		atomic.AddInt64(&visited, int64(hi-lo))
+	})
+	if visited != int64(n) {
+		t.Fatalf("visited %d iterations, want %d", visited, n)
+	}
+}
+
+func TestDoRunsAll(t *testing.T) {
+	var a, b, c int32
+	Do(
+		func() { atomic.StoreInt32(&a, 1) },
+		func() { atomic.StoreInt32(&b, 2) },
+		func() { atomic.StoreInt32(&c, 3) },
+	)
+	if a != 1 || b != 2 || c != 3 {
+		t.Fatalf("got %d %d %d", a, b, c)
+	}
+	Do() // must not hang or panic
+}
+
+func TestReduceFloat64MatchesSequential(t *testing.T) {
+	f := func(n uint16) bool {
+		m := int(n%10000) + 1
+		var want float64
+		for i := 0; i < m; i++ {
+			want += float64(i) * 0.5
+		}
+		got := ReduceFloat64(m, 32, func(i int) float64 { return float64(i) * 0.5 })
+		return math.Abs(got-want) < 1e-6*math.Max(1, math.Abs(want))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReduceInt64(t *testing.T) {
+	n := 100000
+	got := ReduceInt64(n, 0, func(i int) int64 { return int64(i) })
+	want := int64(n) * int64(n-1) / 2
+	if got != want {
+		t.Fatalf("got %d want %d", got, want)
+	}
+	if ReduceInt64(0, 0, func(int) int64 { return 1 }) != 0 {
+		t.Fatal("empty reduce should be 0")
+	}
+}
+
+func TestMaxInt64(t *testing.T) {
+	vals := []int64{3, 9, 1, 9, 2, 8, 7}
+	got := MaxInt64(len(vals), 2, math.MinInt64, func(i int) int64 { return vals[i] })
+	if got != 9 {
+		t.Fatalf("got %d want 9", got)
+	}
+	if MaxInt64(0, 0, -5, nil) != -5 {
+		t.Fatal("empty max should return identity")
+	}
+}
+
+func TestExclusiveScan(t *testing.T) {
+	counts := []int64{3, 0, 2, 5}
+	total := ExclusiveScan(counts)
+	if total != 10 {
+		t.Fatalf("total=%d want 10", total)
+	}
+	want := []int64{0, 3, 3, 5}
+	for i := range want {
+		if counts[i] != want[i] {
+			t.Fatalf("counts[%d]=%d want %d", i, counts[i], want[i])
+		}
+	}
+	if ExclusiveScan(nil) != 0 {
+		t.Fatal("empty scan should be 0")
+	}
+}
+
+func TestExclusiveScanProperty(t *testing.T) {
+	f := func(raw []uint8) bool {
+		orig := make([]int64, len(raw))
+		var want int64
+		for i, v := range raw {
+			orig[i] = int64(v)
+			want += int64(v)
+		}
+		scanned := append([]int64(nil), orig...)
+		total := ExclusiveScan(scanned)
+		if total != want {
+			return false
+		}
+		var run int64
+		for i := range orig {
+			if scanned[i] != run {
+				return false
+			}
+			run += orig[i]
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestParallelPathsUnderRaisedGOMAXPROCS forces the multi-worker code paths
+// even on single-CPU machines (GOMAXPROCS may exceed the core count).
+func TestParallelPathsUnderRaisedGOMAXPROCS(t *testing.T) {
+	old := runtime.GOMAXPROCS(8)
+	defer runtime.GOMAXPROCS(old)
+
+	if Workers() != 8 {
+		t.Fatalf("Workers()=%d want 8", Workers())
+	}
+	n := 100000
+	seen := make([]int32, n)
+	For(n, 16, func(i int) { atomic.AddInt32(&seen[i], 1) })
+	for i, c := range seen {
+		if c != 1 {
+			t.Fatalf("index %d visited %d times", i, c)
+		}
+	}
+
+	var visited int64
+	WorkerFor(n, 64, func(worker, lo, hi int) {
+		if worker < 0 || worker >= 8 {
+			t.Errorf("worker %d out of range", worker)
+		}
+		atomic.AddInt64(&visited, int64(hi-lo))
+	})
+	if visited != int64(n) {
+		t.Fatalf("visited %d want %d", visited, n)
+	}
+
+	var want float64
+	for i := 0; i < n; i++ {
+		want += float64(i)
+	}
+	got := ReduceFloat64(n, 32, func(i int) float64 { return float64(i) })
+	if math.Abs(got-want) > 1e-6*want {
+		t.Fatalf("parallel reduce %g want %g", got, want)
+	}
+
+	if s := ReduceInt64(n, 16, func(i int) int64 { return 1 }); s != int64(n) {
+		t.Fatalf("parallel ReduceInt64 %d", s)
+	}
+	if m := MaxInt64(n, 16, math.MinInt64, func(i int) int64 { return int64(i) }); m != int64(n-1) {
+		t.Fatalf("parallel MaxInt64 %d", m)
+	}
+
+	var a, b int32
+	Do(func() { atomic.StoreInt32(&a, 1) }, func() { atomic.StoreInt32(&b, 1) })
+	if a != 1 || b != 1 {
+		t.Fatal("parallel Do incomplete")
+	}
+}

@@ -1,0 +1,32 @@
+package prone
+
+import "math"
+
+// besselI computes the modified Bessel function of the first kind I_n(x)
+// for integer order n >= 0 via its power series
+//
+//	I_n(x) = Σ_{k≥0} (x/2)^{2k+n} / (k!·(k+n)!)
+//
+// The Chebyshev-Gaussian filter evaluates it at small x (θ = 0.5 by
+// default), where the series converges in a handful of terms; the loop
+// still guards with a relative-tolerance stop for larger arguments.
+func besselI(n int, x float64) float64 {
+	if n < 0 {
+		n = -n // I_{-n}(x) = I_n(x) for integer order
+	}
+	half := x / 2
+	// term_0 = (x/2)^n / n!
+	term := 1.0
+	for i := 1; i <= n; i++ {
+		term *= half / float64(i)
+	}
+	sum := term
+	for k := 1; k < 200; k++ {
+		term *= half * half / (float64(k) * float64(k+n))
+		sum += term
+		if math.Abs(term) < 1e-18*math.Abs(sum) {
+			break
+		}
+	}
+	return sum
+}

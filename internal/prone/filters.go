@@ -1,0 +1,109 @@
+package prone
+
+import (
+	"fmt"
+
+	"lightne/internal/dense"
+	"lightne/internal/graph"
+	"lightne/internal/sparse"
+)
+
+// Filter selects the spectral modulator g(λ) applied by Propagate. The
+// ProNE paper frames propagation as a general band-pass graph filter and
+// evaluates a Chebyshev-expanded Gaussian; heat-kernel and personalized-
+// PageRank filters are the other two standard members of that family, and
+// LightNE inherits the choice. All filters share the final dense
+// re-orthogonalization.
+type Filter int
+
+const (
+	// FilterChebyshevGaussian is the ProNE band-pass filter (default).
+	FilterChebyshevGaussian Filter = iota
+	// FilterHeatKernel applies e^{-θ·L} via a truncated Taylor series:
+	// a low-pass smoother that emphasizes local neighborhoods.
+	FilterHeatKernel
+	// FilterPPR applies the personalized-PageRank kernel
+	// α·Σ_k (1-α)^k·(D⁻¹A)^k with α = 1 - Mu (Mu acts as the damping
+	// factor), another standard low-pass choice.
+	FilterPPR
+)
+
+// String names the filter.
+func (f Filter) String() string {
+	switch f {
+	case FilterChebyshevGaussian:
+		return "chebyshev-gaussian"
+	case FilterHeatKernel:
+		return "heat-kernel"
+	case FilterPPR:
+		return "ppr"
+	}
+	return fmt.Sprintf("filter(%d)", int(f))
+}
+
+// heatPropagate computes Σ_{k=0..order-1} (-θ·L)^k/k! · X, the truncated
+// Taylor expansion of e^{-θL}X, on the self-loop-augmented normalized
+// Laplacian.
+func heatPropagate(g *graph.Graph, x *dense.Matrix, cfg PropagationConfig) *dense.Matrix {
+	n, d := x.Rows, x.Cols
+	adj := adjacencyWithSelfLoops(g)
+	da := cloneCSR(adj)
+	normalizeRowsCSR(da)
+	// L = I - DA.
+	lap := negate(da).AddScaledIdentity(1)
+
+	theta := cfg.Theta
+	if theta <= 0 {
+		theta = 0.5
+	}
+	sum := x.Clone()
+	term := x.Clone()
+	tmp := dense.NewMatrix(n, d)
+	for k := 1; k < cfg.Order; k++ {
+		sparse.SpMM(tmp, lap, term)
+		coef := -theta / float64(k)
+		for i := range term.Data {
+			term.Data[i] = coef * tmp.Data[i]
+		}
+		addScaled(sum, term, 1)
+	}
+	return sum
+}
+
+// pprPropagate computes α·Σ_{k=0..order-1} (1-α)^k·(DA)^k·X with DA the
+// row-normalized self-loop-augmented adjacency and α = 1 - Mu.
+func pprPropagate(g *graph.Graph, x *dense.Matrix, cfg PropagationConfig) *dense.Matrix {
+	n, d := x.Rows, x.Cols
+	adj := adjacencyWithSelfLoops(g)
+	normalizeRowsCSR(adj)
+	alpha := 1 - cfg.Mu
+	if alpha <= 0 || alpha > 1 {
+		alpha = 0.85
+	}
+	damp := 1 - alpha
+	sum := x.Clone()
+	sum.Scale(alpha)
+	term := x.Clone()
+	tmp := dense.NewMatrix(n, d)
+	scale := alpha
+	for k := 1; k < cfg.Order; k++ {
+		sparse.SpMM(tmp, adj, term)
+		term, tmp = tmp, term
+		scale *= damp
+		addScaled(sum, term, scale) // = alpha·damp^k
+	}
+	return sum
+}
+
+// normalizeRowsCSR rescales each row of m to sum to 1 (rows summing to 0
+// are left untouched).
+func normalizeRowsCSR(m *sparse.CSR) {
+	sums := m.RowSums()
+	inv := make([]float64, len(sums))
+	for i, s := range sums {
+		if s != 0 {
+			inv[i] = 1 / s
+		}
+	}
+	m.ScaleRows(inv)
+}

@@ -1,0 +1,128 @@
+package prone
+
+import (
+	"math"
+	"testing"
+
+	"lightne/internal/dense"
+	"lightne/internal/eval"
+	"lightne/internal/gen"
+)
+
+func TestFilterString(t *testing.T) {
+	if FilterChebyshevGaussian.String() != "chebyshev-gaussian" ||
+		FilterHeatKernel.String() != "heat-kernel" ||
+		FilterPPR.String() != "ppr" {
+		t.Fatal("filter names wrong")
+	}
+	if Filter(99).String() == "" {
+		t.Fatal("unknown filter should still stringify")
+	}
+}
+
+func TestAllFiltersProduceValidEmbeddings(t *testing.T) {
+	g := twoBlocks(t)
+	x, _, err := Factorize(g, DefaultConfig(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, kind := range []Filter{FilterChebyshevGaussian, FilterHeatKernel, FilterPPR} {
+		cfg := DefaultPropagation()
+		cfg.Kind = kind
+		y, err := Propagate(g, x, cfg)
+		if err != nil {
+			t.Fatalf("%v: %v", kind, err)
+		}
+		if y.Rows != x.Rows || y.Cols != x.Cols {
+			t.Fatalf("%v: shape changed", kind)
+		}
+		for _, v := range y.Data {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				t.Fatalf("%v: NaN/Inf", kind)
+			}
+		}
+		// Rows normalized.
+		for i := 0; i < y.Rows; i++ {
+			var s float64
+			for _, v := range y.Row(i) {
+				s += v * v
+			}
+			if s != 0 && math.Abs(s-1) > 1e-9 {
+				t.Fatalf("%v: row %d norm² %g", kind, i, s)
+			}
+		}
+	}
+}
+
+func TestFiltersDiffer(t *testing.T) {
+	g := twoBlocks(t)
+	x := dense.NewMatrix(g.NumVertices(), 4)
+	x.FillGaussian(3)
+	outs := map[Filter]*dense.Matrix{}
+	for _, kind := range []Filter{FilterChebyshevGaussian, FilterHeatKernel, FilterPPR} {
+		cfg := DefaultPropagation()
+		cfg.Kind = kind
+		y, err := Propagate(g, x, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		outs[kind] = y
+	}
+	diff := func(a, b *dense.Matrix) float64 {
+		var d float64
+		for i := range a.Data {
+			d += math.Abs(a.Data[i] - b.Data[i])
+		}
+		return d
+	}
+	if diff(outs[FilterChebyshevGaussian], outs[FilterHeatKernel]) < 1e-6 {
+		t.Fatal("chebyshev and heat produced identical output")
+	}
+	if diff(outs[FilterHeatKernel], outs[FilterPPR]) < 1e-6 {
+		t.Fatal("heat and ppr produced identical output")
+	}
+}
+
+func TestAllFiltersPreserveCommunitySignal(t *testing.T) {
+	// Each filter must leave a classifiable embedding on a labeled SBM.
+	g, labels, err := gen.SBM(gen.SBMConfig{N: 600, Communities: 3, PIn: 0.1, POut: 0.01, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, _, err := Factorize(g, DefaultConfig(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, kind := range []Filter{FilterChebyshevGaussian, FilterHeatKernel, FilterPPR} {
+		cfg := DefaultPropagation()
+		cfg.Kind = kind
+		y, err := Propagate(g, x, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cr, err := eval.NodeClassification(y, labels.Of, labels.NumClasses, 0.3, 5, eval.DefaultTrain())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cr.MicroF1 < 0.8 {
+			t.Fatalf("%v: micro-F1 %.3f too low on an easy SBM", kind, cr.MicroF1)
+		}
+	}
+}
+
+func TestHeatKernelOrderOneIsIdentityLike(t *testing.T) {
+	// With Order=1 Propagate short-circuits for every filter.
+	g := twoBlocks(t)
+	x := dense.NewMatrix(g.NumVertices(), 3)
+	x.FillGaussian(9)
+	cfg := PropagationConfig{Order: 1, Kind: FilterHeatKernel}
+	y, err := Propagate(g, x, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range x.Data {
+		if y.Data[i] != x.Data[i] {
+			t.Fatal("order-1 must be identity")
+		}
+	}
+}

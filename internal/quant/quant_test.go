@@ -1,0 +1,162 @@
+package quant
+
+import (
+	"math"
+	"testing"
+
+	"lightne/internal/dense"
+	"lightne/internal/eval"
+)
+
+func testEmbedding(rows, cols int, seed uint64) *dense.Matrix {
+	x := dense.NewMatrix(rows, cols)
+	x.FillGaussian(seed)
+	return x
+}
+
+func TestFloat32Roundtrip(t *testing.T) {
+	x := testEmbedding(50, 16, 1)
+	q := ToFloat32(x)
+	if q.MemoryBytes() != int64(50*16*4) {
+		t.Fatalf("memory %d", q.MemoryBytes())
+	}
+	back := q.ToDense()
+	for i := range x.Data {
+		if math.Abs(back.Data[i]-x.Data[i]) > 1e-6*math.Max(1, math.Abs(x.Data[i])) {
+			t.Fatalf("float32 roundtrip error at %d: %g vs %g", i, back.Data[i], x.Data[i])
+		}
+	}
+}
+
+func TestFloat32CosinePreserved(t *testing.T) {
+	x := testEmbedding(40, 32, 3)
+	q := ToFloat32(x)
+	for _, pair := range [][2]int{{0, 1}, {5, 17}, {39, 0}} {
+		var dot, na, nb float64
+		for k := 0; k < x.Cols; k++ {
+			dot += x.At(pair[0], k) * x.At(pair[1], k)
+			na += x.At(pair[0], k) * x.At(pair[0], k)
+			nb += x.At(pair[1], k) * x.At(pair[1], k)
+		}
+		exact := dot / math.Sqrt(na*nb)
+		if got := q.Cosine(pair[0], pair[1]); math.Abs(got-exact) > 1e-6 {
+			t.Fatalf("pair %v: cosine %g vs %g", pair, got, exact)
+		}
+	}
+}
+
+func TestInt8CompressionRatioAndError(t *testing.T) {
+	x := testEmbedding(100, 64, 5)
+	q := ToInt8(x)
+	raw := int64(len(x.Data) * 8)
+	if ratio := float64(raw) / float64(q.MemoryBytes()); ratio < 7 {
+		t.Fatalf("int8 compression ratio %.1f < 7", ratio)
+	}
+	back := q.ToDense()
+	// Per-row relative error bounded by the quantization step.
+	for i := 0; i < x.Rows; i++ {
+		var maxAbs, maxErr float64
+		for j := 0; j < x.Cols; j++ {
+			if a := math.Abs(x.At(i, j)); a > maxAbs {
+				maxAbs = a
+			}
+			if e := math.Abs(back.At(i, j) - x.At(i, j)); e > maxErr {
+				maxErr = e
+			}
+		}
+		if maxErr > maxAbs/127+1e-12 {
+			t.Fatalf("row %d: error %g exceeds step %g", i, maxErr, maxAbs/127)
+		}
+	}
+}
+
+func TestInt8CosineApproximation(t *testing.T) {
+	x := testEmbedding(60, 32, 7)
+	q := ToInt8(x)
+	var worst float64
+	for u := 0; u < 20; u++ {
+		for v := u + 1; v < 20; v++ {
+			var dot, na, nb float64
+			for k := 0; k < x.Cols; k++ {
+				dot += x.At(u, k) * x.At(v, k)
+				na += x.At(u, k) * x.At(u, k)
+				nb += x.At(v, k) * x.At(v, k)
+			}
+			exact := dot / math.Sqrt(na*nb)
+			if d := math.Abs(q.Cosine(u, v) - exact); d > worst {
+				worst = d
+			}
+		}
+	}
+	if worst > 0.02 {
+		t.Fatalf("int8 cosine error %.4f too high", worst)
+	}
+}
+
+func TestInt8TopKMatchesExact(t *testing.T) {
+	// Build an embedding with clear cluster structure so top-k is stable.
+	x := dense.NewMatrix(60, 8)
+	src := testEmbedding(60, 8, 9)
+	for i := 0; i < 60; i++ {
+		for j := 0; j < 8; j++ {
+			x.Set(i, j, 0.2*src.At(i, j))
+		}
+		x.Set(i, i%4, x.At(i, i%4)+2)
+	}
+	q := ToInt8(x)
+	idx, vals, err := q.TopK(0, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(idx) != 5 || len(vals) != 5 {
+		t.Fatalf("TopK sizes %d %d", len(idx), len(vals))
+	}
+	exact, err := eval.NearestNeighbors(x, 0, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The quantized top-5 must heavily overlap the exact top-5.
+	exactSet := map[uint32]bool{}
+	for _, nb := range exact {
+		exactSet[nb.Vertex] = true
+	}
+	overlap := 0
+	for _, i := range idx {
+		if exactSet[uint32(i)] {
+			overlap++
+		}
+	}
+	if overlap < 4 {
+		t.Fatalf("quantized top-5 overlaps exact top-5 only %d/5", overlap)
+	}
+	// Results sorted descending.
+	for i := 1; i < len(vals); i++ {
+		if vals[i] > vals[i-1]+1e-12 {
+			t.Fatal("TopK not sorted")
+		}
+	}
+}
+
+func TestInt8Errors(t *testing.T) {
+	q := ToInt8(testEmbedding(4, 2, 11))
+	if _, _, err := q.TopK(9, 1); err == nil {
+		t.Fatal("expected range error")
+	}
+	if _, _, err := q.TopK(0, 0); err == nil {
+		t.Fatal("expected k error")
+	}
+}
+
+func TestZeroRows(t *testing.T) {
+	x := dense.NewMatrix(3, 4) // all zeros
+	q := ToInt8(x)
+	if q.Cosine(0, 1) != 0 {
+		t.Fatal("zero rows should have zero cosine")
+	}
+	back := q.ToDense()
+	for _, v := range back.Data {
+		if v != 0 {
+			t.Fatal("zero embedding should roundtrip to zero")
+		}
+	}
+}

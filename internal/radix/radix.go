@@ -1,0 +1,222 @@
+// Package radix implements a parallel least-significant-digit radix sort
+// for (uint64 key, float64 payload) pairs — the "partial radix-sort"
+// machinery the paper cites (Kiriansky et al. [13], and Gu et al.'s
+// semisort [8]) as the alternative to hashing for aggregating samples
+// (§4.2). It backs the list-histogram aggregation strategy and is exposed
+// for any (key, weight) grouping workload.
+//
+// The sort is stable, runs ceil(usedBits/8) counting passes, and
+// parallelizes both the histogram and the scatter of each pass over
+// contiguous chunks (per-chunk digit counts give each chunk a disjoint
+// write region, so the scatter is race-free and stability is preserved).
+package radix
+
+import (
+	"math/bits"
+	"sync"
+)
+
+// chunkCount controls the histogram/scatter parallel grain.
+const chunkCount = 32
+
+// SortPairs sorts keys ascending, permuting vals alongside. len(vals) must
+// equal len(keys). The slices are sorted in place (an internal buffer of
+// equal size is allocated).
+func SortPairs(keys []uint64, vals []float64) {
+	if len(keys) != len(vals) {
+		panic("radix: keys and vals must have equal length")
+	}
+	n := len(keys)
+	if n < 2 {
+		return
+	}
+	// Only sort the digits that can be nonzero.
+	var maxKey uint64
+	for _, k := range keys {
+		if k > maxKey {
+			maxKey = k
+		}
+	}
+	passes := (bits.Len64(maxKey) + 7) / 8
+	if passes == 0 {
+		return
+	}
+	bufK := make([]uint64, n)
+	bufV := make([]float64, n)
+	srcK, srcV := keys, vals
+	dstK, dstV := bufK, bufV
+	for pass := 0; pass < passes; pass++ {
+		shift := uint(8 * pass)
+		countingPass(srcK, srcV, dstK, dstV, shift)
+		srcK, dstK = dstK, srcK
+		srcV, dstV = dstV, srcV
+	}
+	if &srcK[0] != &keys[0] {
+		copy(keys, srcK)
+		copy(vals, srcV)
+	}
+}
+
+// countingPass performs one stable 8-bit counting pass from src to dst.
+func countingPass(srcK []uint64, srcV []float64, dstK []uint64, dstV []float64, shift uint) {
+	n := len(srcK)
+	chunks := chunkCount
+	if chunks > n {
+		chunks = 1
+	}
+	size := (n + chunks - 1) / chunks
+	// counts[c][d]: occurrences of digit d in chunk c.
+	counts := make([][256]int64, chunks)
+	var wg sync.WaitGroup
+	wg.Add(chunks)
+	for c := 0; c < chunks; c++ {
+		go func(c int) {
+			defer wg.Done()
+			lo, hi := c*size, (c+1)*size
+			if hi > n {
+				hi = n
+			}
+			for i := lo; i < hi; i++ {
+				counts[c][(srcK[i]>>shift)&0xff]++
+			}
+		}(c)
+	}
+	wg.Wait()
+	// Global stable offsets: digit-major, chunk-minor.
+	var total int64
+	var offsets [256][]int64
+	for d := 0; d < 256; d++ {
+		offsets[d] = make([]int64, chunks)
+		for c := 0; c < chunks; c++ {
+			offsets[d][c] = total
+			total += counts[c][d]
+		}
+	}
+	wg.Add(chunks)
+	for c := 0; c < chunks; c++ {
+		go func(c int) {
+			defer wg.Done()
+			var next [256]int64
+			for d := 0; d < 256; d++ {
+				next[d] = offsets[d][c]
+			}
+			lo, hi := c*size, (c+1)*size
+			if hi > n {
+				hi = n
+			}
+			for i := lo; i < hi; i++ {
+				d := (srcK[i] >> shift) & 0xff
+				p := next[d]
+				next[d]++
+				dstK[p] = srcK[i]
+				dstV[p] = srcV[i]
+			}
+		}(c)
+	}
+	wg.Wait()
+}
+
+// GroupSum sorts the pairs and sums payloads of equal keys in place,
+// returning the compacted length: the semisort-style "histogram" operation
+// used to merge per-worker sample lists.
+func GroupSum(keys []uint64, vals []float64) int {
+	SortPairs(keys, vals)
+	out := 0
+	for i := 0; i < len(keys); {
+		j := i
+		var sum float64
+		for j < len(keys) && keys[j] == keys[i] {
+			sum += vals[j]
+			j++
+		}
+		keys[out] = keys[i]
+		vals[out] = sum
+		out++
+		i = j
+	}
+	return out
+}
+
+// Sort sorts a bare key slice ascending with the same parallel LSD passes
+// as SortPairs. Used by the batched walker to group walk states by their
+// current vertex between steps.
+func Sort(keys []uint64) {
+	n := len(keys)
+	if n < 2 {
+		return
+	}
+	var maxKey uint64
+	for _, k := range keys {
+		if k > maxKey {
+			maxKey = k
+		}
+	}
+	passes := (bits.Len64(maxKey) + 7) / 8
+	if passes == 0 {
+		return
+	}
+	buf := make([]uint64, n)
+	src, dst := keys, buf
+	for pass := 0; pass < passes; pass++ {
+		countingPassKeys(src, dst, uint(8*pass))
+		src, dst = dst, src
+	}
+	if &src[0] != &keys[0] {
+		copy(keys, src)
+	}
+}
+
+// countingPassKeys is countingPass without a payload.
+func countingPassKeys(src, dst []uint64, shift uint) {
+	n := len(src)
+	chunks := chunkCount
+	if chunks > n {
+		chunks = 1
+	}
+	size := (n + chunks - 1) / chunks
+	counts := make([][256]int64, chunks)
+	var wg sync.WaitGroup
+	wg.Add(chunks)
+	for c := 0; c < chunks; c++ {
+		go func(c int) {
+			defer wg.Done()
+			lo, hi := c*size, (c+1)*size
+			if hi > n {
+				hi = n
+			}
+			for i := lo; i < hi; i++ {
+				counts[c][(src[i]>>shift)&0xff]++
+			}
+		}(c)
+	}
+	wg.Wait()
+	var total int64
+	var offsets [256][]int64
+	for d := 0; d < 256; d++ {
+		offsets[d] = make([]int64, chunks)
+		for c := 0; c < chunks; c++ {
+			offsets[d][c] = total
+			total += counts[c][d]
+		}
+	}
+	wg.Add(chunks)
+	for c := 0; c < chunks; c++ {
+		go func(c int) {
+			defer wg.Done()
+			var next [256]int64
+			for d := 0; d < 256; d++ {
+				next[d] = offsets[d][c]
+			}
+			lo, hi := c*size, (c+1)*size
+			if hi > n {
+				hi = n
+			}
+			for i := lo; i < hi; i++ {
+				d := (src[i] >> shift) & 0xff
+				dst[next[d]] = src[i]
+				next[d]++
+			}
+		}(c)
+	}
+	wg.Wait()
+}

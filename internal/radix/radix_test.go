@@ -1,0 +1,169 @@
+package radix
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"lightne/internal/rng"
+)
+
+func TestSortPairsMatchesStdlib(t *testing.T) {
+	s := rng.New(1, 0)
+	for _, n := range []int{0, 1, 2, 10, 1000, 100000} {
+		keys := make([]uint64, n)
+		vals := make([]float64, n)
+		for i := range keys {
+			keys[i] = s.Uint64() >> uint(s.Intn(60)) // vary magnitudes
+			vals[i] = float64(keys[i] % 97)
+		}
+		type pair struct {
+			k uint64
+			v float64
+		}
+		ref := make([]pair, n)
+		for i := range ref {
+			ref[i] = pair{keys[i], vals[i]}
+		}
+		sort.SliceStable(ref, func(i, j int) bool { return ref[i].k < ref[j].k })
+		SortPairs(keys, vals)
+		for i := range keys {
+			if keys[i] != ref[i].k || vals[i] != ref[i].v {
+				t.Fatalf("n=%d: mismatch at %d: (%d,%g) vs (%d,%g)", n, i, keys[i], vals[i], ref[i].k, ref[i].v)
+			}
+		}
+	}
+}
+
+func TestSortPairsStability(t *testing.T) {
+	// Equal keys must keep payload order (stability).
+	keys := []uint64{5, 1, 5, 1, 5}
+	vals := []float64{0, 10, 1, 11, 2}
+	SortPairs(keys, vals)
+	want := []float64{10, 11, 0, 1, 2}
+	for i := range want {
+		if vals[i] != want[i] {
+			t.Fatalf("stability broken: %v", vals)
+		}
+	}
+}
+
+func TestSortPairsPanicsOnLengthMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	SortPairs(make([]uint64, 3), make([]float64, 2))
+}
+
+func TestGroupSum(t *testing.T) {
+	keys := []uint64{7, 3, 7, 3, 9}
+	vals := []float64{1, 2, 0.5, 3, 4}
+	n := GroupSum(keys, vals)
+	if n != 3 {
+		t.Fatalf("groups=%d want 3", n)
+	}
+	got := map[uint64]float64{}
+	for i := 0; i < n; i++ {
+		got[keys[i]] = vals[i]
+	}
+	if math.Abs(got[7]-1.5) > 1e-12 || math.Abs(got[3]-5) > 1e-12 || got[9] != 4 {
+		t.Fatalf("GroupSum wrong: %v", got)
+	}
+	// Sorted output.
+	for i := 1; i < n; i++ {
+		if keys[i-1] >= keys[i] {
+			t.Fatal("GroupSum output not sorted")
+		}
+	}
+}
+
+func TestSortPairsProperty(t *testing.T) {
+	f := func(raw []uint32) bool {
+		keys := make([]uint64, len(raw))
+		vals := make([]float64, len(raw))
+		var checksum float64
+		for i, r := range raw {
+			keys[i] = uint64(r)
+			vals[i] = float64(r) * 0.5
+			checksum += vals[i]
+		}
+		SortPairs(keys, vals)
+		var after float64
+		for i := range keys {
+			after += vals[i]
+			if i > 0 && keys[i-1] > keys[i] {
+				return false
+			}
+			// Payload still matches its key.
+			if vals[i] != float64(keys[i])*0.5 {
+				return false
+			}
+		}
+		return math.Abs(after-checksum) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkSortPairs(b *testing.B) {
+	s := rng.New(9, 0)
+	n := 1 << 20
+	base := make([]uint64, n)
+	baseV := make([]float64, n)
+	for i := range base {
+		base[i] = s.Uint64()
+		baseV[i] = float64(i)
+	}
+	keys := make([]uint64, n)
+	vals := make([]float64, n)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		copy(keys, base)
+		copy(vals, baseV)
+		SortPairs(keys, vals)
+	}
+	b.SetBytes(int64(n * 16))
+}
+
+func BenchmarkStdlibSortPairs(b *testing.B) {
+	s := rng.New(9, 0)
+	n := 1 << 20
+	type pair struct {
+		k uint64
+		v float64
+	}
+	base := make([]pair, n)
+	for i := range base {
+		base[i] = pair{s.Uint64(), float64(i)}
+	}
+	work := make([]pair, n)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		copy(work, base)
+		sort.Slice(work, func(a, c int) bool { return work[a].k < work[c].k })
+	}
+	b.SetBytes(int64(n * 16))
+}
+
+func TestSortKeysMatchesStdlib(t *testing.T) {
+	s := rng.New(21, 0)
+	for _, n := range []int{0, 1, 3, 1000, 50000} {
+		keys := make([]uint64, n)
+		ref := make([]uint64, n)
+		for i := range keys {
+			keys[i] = s.Uint64() >> uint(s.Intn(56))
+			ref[i] = keys[i]
+		}
+		Sort(keys)
+		sort.Slice(ref, func(i, j int) bool { return ref[i] < ref[j] })
+		for i := range keys {
+			if keys[i] != ref[i] {
+				t.Fatalf("n=%d mismatch at %d", n, i)
+			}
+		}
+	}
+}

@@ -1,0 +1,140 @@
+package sampler
+
+import (
+	"math"
+	"testing"
+
+	"lightne/internal/graph"
+)
+
+func TestPackStateRoundtrip(t *testing.T) {
+	for _, tc := range []struct {
+		cur   uint32
+		steps int
+		side  int
+		head  int
+	}{
+		{0, 0, 0, 0},
+		{12345, 511, 1, maxWaveHeads - 1},
+		{1 << 31, 7, 0, 42},
+	} {
+		st := packState(tc.cur, tc.steps, tc.side, tc.head)
+		if uint32(st>>batchCurOff) != tc.cur {
+			t.Fatalf("cur mismatch: %+v", tc)
+		}
+		if int(st>>batchStepOff)&(1<<batchStepBits-1) != tc.steps {
+			t.Fatalf("steps mismatch: %+v", tc)
+		}
+		if int(st>>batchSideBit)&1 != tc.side {
+			t.Fatalf("side mismatch: %+v", tc)
+		}
+		if int(st&(maxWaveHeads-1)) != tc.head {
+			t.Fatalf("head mismatch: %+v", tc)
+		}
+	}
+}
+
+func TestSampleBatchedMatchesSampleDistribution(t *testing.T) {
+	g := completeGraph(t, 16)
+	cfg := Config{T: 3, M: 1_500_000, Seed: 9}
+	plain, statsA, err := Sample(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batched, statsB, err := SampleBatched(g, cfg, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Identical arc enumeration seeds → identical trial/head counts.
+	if statsA.Trials != statsB.Trials || statsA.Heads != statsB.Heads {
+		t.Fatalf("trial accounting differs: %d/%d vs %d/%d",
+			statsA.Trials, statsA.Heads, statsB.Trials, statsB.Heads)
+	}
+	us, vs, ws := plain.Drain()
+	for i := range us {
+		if ws[i] < 50 {
+			continue
+		}
+		wb, ok := batched.Get(us[i], vs[i])
+		if !ok {
+			t.Fatalf("batched table missing entry (%d,%d)", us[i], vs[i])
+		}
+		if math.Abs(wb-ws[i]) > 0.25*ws[i] {
+			t.Fatalf("entry (%d,%d): plain %g vs batched %g", us[i], vs[i], ws[i], wb)
+		}
+	}
+}
+
+func TestSampleBatchedSmallWaves(t *testing.T) {
+	// Tiny waves force many flushes; totals must be conserved exactly.
+	g := cycleGraph(t, 12)
+	cfg := Config{T: 4, M: 50_000, Downsample: true, C: 1, Seed: 11}
+	tab, stats, err := SampleBatched(g, cfg, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _, ws := tab.Drain()
+	var total float64
+	for _, w := range ws {
+		total += w
+	}
+	// Each head adds 2·(1/p_e); expectation of the sum is 2·Trials.
+	want := 2 * float64(stats.Trials)
+	if math.Abs(total-want) > 0.05*want {
+		t.Fatalf("total mass %.0f want ≈ %.0f", total, want)
+	}
+}
+
+func TestSampleBatchedSymmetric(t *testing.T) {
+	g := completeGraph(t, 10)
+	tab, _, err := SampleBatched(g, Config{T: 3, M: 40_000, Seed: 13}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	us, vs, _ := tab.Drain()
+	for i := range us {
+		wa, _ := tab.Get(us[i], vs[i])
+		wb, ok := tab.Get(vs[i], us[i])
+		if !ok || math.Abs(wa-wb) > 1e-6 {
+			t.Fatalf("asymmetry at (%d,%d)", us[i], vs[i])
+		}
+	}
+}
+
+func TestSampleBatchedErrors(t *testing.T) {
+	g := cycleGraph(t, 6)
+	if _, _, err := SampleBatched(g, Config{T: 0, M: 10}, 0); err == nil {
+		t.Fatal("expected T error")
+	}
+	if _, _, err := SampleBatched(g, Config{T: 600, M: 10}, 0); err == nil {
+		t.Fatal("expected T cap error")
+	}
+	if _, _, err := SampleBatched(g, Config{T: 2, M: 0}, 0); err == nil {
+		t.Fatal("expected M error")
+	}
+	wg, err := graph.FromWeightedEdges(3, []graph.WeightedEdge{{U: 0, V: 1, W: 2}}, graph.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := SampleBatched(wg, Config{T: 2, M: 10}, 0); err == nil {
+		t.Fatal("expected weighted rejection")
+	}
+}
+
+func TestSampleBatchedParityOnCycle(t *testing.T) {
+	// Path-parity invariant must survive the batched schedule (endpoints of
+	// an (r-1)-step split walk on a bipartite cycle keep the sample's
+	// parity): with T=1, samples are exactly the original arcs.
+	g := cycleGraph(t, 8)
+	tab, _, err := SampleBatched(g, Config{T: 1, M: 20_000, Seed: 7}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	us, vs, _ := tab.Drain()
+	for i := range us {
+		diff := (int(us[i]) - int(vs[i]) + 8) % 8
+		if diff != 1 && diff != 7 {
+			t.Fatalf("T=1 batched sample (%d,%d) is not an original edge", us[i], vs[i])
+		}
+	}
+}

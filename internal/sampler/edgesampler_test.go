@@ -1,0 +1,136 @@
+package sampler
+
+import (
+	"math"
+	"testing"
+
+	"lightne/internal/graph"
+	"lightne/internal/rng"
+)
+
+func TestArcSamplersUniform(t *testing.T) {
+	// Irregular graph: star + ring; arc frequencies must be uniform over
+	// directed arcs for both strategies.
+	var arcs []graph.Edge
+	n := 20
+	for i := 1; i < n; i++ {
+		arcs = append(arcs, graph.Edge{U: 0, V: uint32(i)})
+	}
+	for i := 1; i < n-1; i++ {
+		arcs = append(arcs, graph.Edge{U: uint32(i), V: uint32(i + 1)})
+	}
+	g, err := graph.FromEdges(n, arcs, graph.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := int(g.NumEdges())
+	samplers := map[string]ArcSampler{
+		"array":  NewArrayArcSampler(g),
+		"search": NewSearchArcSampler(g),
+	}
+	for name, s := range samplers {
+		src := rng.New(3, 0)
+		counts := map[uint64]int{}
+		const draws = 200000
+		for i := 0; i < draws; i++ {
+			u, v := s.Arc(src)
+			// The drawn pair must be a real arc.
+			found := false
+			for _, nb := range g.Neighbors(u, nil) {
+				if nb == v {
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Fatalf("%s: (%d,%d) is not an arc", name, u, v)
+			}
+			counts[uint64(u)<<32|uint64(v)]++
+		}
+		want := float64(draws) / float64(m)
+		for k, c := range counts {
+			if math.Abs(float64(c)-want) > 6*math.Sqrt(want) {
+				t.Fatalf("%s: arc %d drawn %d times, want ≈ %.0f", name, k, c, want)
+			}
+		}
+		if len(counts) != m {
+			t.Fatalf("%s: only %d/%d arcs ever drawn", name, len(counts), m)
+		}
+	}
+}
+
+func TestArrayAndSearchMemoryContrast(t *testing.T) {
+	g := completeGraph(t, 40)
+	arr := NewArrayArcSampler(g)
+	search := NewSearchArcSampler(g)
+	if arr.MemoryBytes() != g.NumEdges()*8 {
+		t.Fatalf("array memory %d want %d", arr.MemoryBytes(), g.NumEdges()*8)
+	}
+	if search.MemoryBytes() != 0 {
+		t.Fatal("search sampler should need no extra memory")
+	}
+}
+
+func TestSampleUniformMatchesPerEdgeDistribution(t *testing.T) {
+	// The per-edge schedule (Sample) and the textbook uniform-arc process
+	// (SampleUniform) are distribution-equivalent: their aggregated tables
+	// must agree entry-wise up to sampling noise.
+	g := completeGraph(t, 16)
+	cfg := Config{T: 3, M: 1_500_000, Seed: 9}
+	perEdge, statsA, err := Sample(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	uniform, statsB, err := SampleUniform(g, cfg, NewArrayArcSampler(g))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(float64(statsA.Trials)-float64(statsB.Trials)) > 0.05*float64(cfg.M) {
+		t.Fatalf("trial counts diverge: %d vs %d", statsA.Trials, statsB.Trials)
+	}
+	us, vs, ws := perEdge.Drain()
+	for i := range us {
+		if ws[i] < 50 {
+			continue // skip entries too rare to compare statistically
+		}
+		wb, ok := uniform.Get(us[i], vs[i])
+		if !ok {
+			t.Fatalf("uniform table missing well-sampled entry (%d,%d)", us[i], vs[i])
+		}
+		if math.Abs(wb-ws[i]) > 0.25*ws[i] {
+			t.Fatalf("entry (%d,%d): per-edge %g vs uniform %g", us[i], vs[i], ws[i], wb)
+		}
+	}
+}
+
+func TestSampleUniformDownsampling(t *testing.T) {
+	g := completeGraph(t, 40)
+	tab, stats, err := SampleUniform(g, Config{T: 2, M: 100_000, Downsample: true, Seed: 4}, NewSearchArcSampler(g))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Heads >= stats.Trials {
+		t.Fatal("downsampling skipped nothing on K40")
+	}
+	if tab.Len() == 0 {
+		t.Fatal("empty table")
+	}
+}
+
+func TestSampleUniformErrors(t *testing.T) {
+	g := completeGraph(t, 5)
+	arr := NewArrayArcSampler(g)
+	if _, _, err := SampleUniform(g, Config{T: 0, M: 10}, arr); err == nil {
+		t.Fatal("expected T error")
+	}
+	if _, _, err := SampleUniform(g, Config{T: 2, M: 0}, arr); err == nil {
+		t.Fatal("expected M error")
+	}
+	wg, err := graph.FromWeightedEdges(3, []graph.WeightedEdge{{U: 0, V: 1, W: 2}}, graph.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := SampleUniform(wg, Config{T: 2, M: 10}, NewSearchArcSampler(wg)); err == nil {
+		t.Fatal("expected weighted-graph rejection")
+	}
+}

@@ -1,0 +1,56 @@
+package sparse
+
+import (
+	"testing"
+
+	"lightne/internal/dense"
+	"lightne/internal/rng"
+)
+
+func benchSparse(b *testing.B, n, nnzPerRow, d int) {
+	s := rng.New(1, 0)
+	var us, vs []uint32
+	var ws []float64
+	for i := 0; i < n; i++ {
+		for k := 0; k < nnzPerRow; k++ {
+			us = append(us, uint32(i))
+			vs = append(vs, uint32(s.Intn(n)))
+			ws = append(ws, 1)
+		}
+	}
+	m, err := FromCOO(n, n, us, vs, ws)
+	if err != nil {
+		b.Fatal(err)
+	}
+	x := dense.NewMatrix(n, d)
+	x.FillGaussian(2)
+	y := dense.NewMatrix(n, d)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		SpMM(y, m, x)
+	}
+	b.SetBytes(m.NNZ() * 8 * int64(d) / 4) // rough flop-proportional figure
+}
+
+func BenchmarkSpMM_n10k_nnz20_d32(b *testing.B)  { benchSparse(b, 10000, 20, 32) }
+func BenchmarkSpMM_n10k_nnz20_d128(b *testing.B) { benchSparse(b, 10000, 20, 128) }
+
+func BenchmarkTruncLog(b *testing.B) {
+	s := rng.New(3, 0)
+	n := 10000
+	var us, vs []uint32
+	var ws []float64
+	for i := 0; i < n*20; i++ {
+		us = append(us, uint32(s.Intn(n)))
+		vs = append(vs, uint32(s.Intn(n)))
+		ws = append(ws, s.Float64()*4)
+	}
+	m, err := FromCOO(n, n, us, vs, ws)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = m.TruncLog()
+	}
+}

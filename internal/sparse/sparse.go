@@ -1,0 +1,309 @@
+// Package sparse provides the sparse linear algebra LightNE obtains from
+// MKL's Sparse BLAS in the paper (§4.3): a CSR matrix with parallel
+// sparse-times-dense products (SPMM, the mkl_sparse_s_mm stand-in), builders
+// from COO triples and from the sampler's hash table, diagonal scaling, and
+// the entry-wise truncated logarithm that turns the sparsifier into the
+// NetMF matrix.
+package sparse
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"lightne/internal/dense"
+	"lightne/internal/hashtable"
+	"lightne/internal/par"
+)
+
+// CSR is a compressed sparse row matrix.
+type CSR struct {
+	NumRows, NumCols int
+	RowPtr           []int64 // len NumRows+1
+	ColIdx           []uint32
+	Val              []float64
+}
+
+// NNZ returns the number of stored entries.
+func (m *CSR) NNZ() int64 { return m.RowPtr[m.NumRows] }
+
+// MemoryBytes returns the CSR storage footprint.
+func (m *CSR) MemoryBytes() int64 {
+	return int64(len(m.RowPtr))*8 + int64(len(m.ColIdx))*4 + int64(len(m.Val))*8
+}
+
+// FromCOO builds a CSR matrix from triples, summing duplicates. Triples may
+// arrive in any order.
+func FromCOO(rows, cols int, us, vs []uint32, ws []float64) (*CSR, error) {
+	if len(us) != len(vs) || len(us) != len(ws) {
+		return nil, fmt.Errorf("sparse: COO slice lengths differ (%d, %d, %d)", len(us), len(vs), len(ws))
+	}
+	for i := range us {
+		if int(us[i]) >= rows || int(vs[i]) >= cols {
+			return nil, fmt.Errorf("sparse: entry (%d,%d) outside %dx%d", us[i], vs[i], rows, cols)
+		}
+	}
+	// Count entries per row, scan, scatter, then sort and merge each row.
+	counts := make([]int64, rows+1)
+	for _, u := range us {
+		counts[u+1]++
+	}
+	for r := 0; r < rows; r++ {
+		counts[r+1] += counts[r]
+	}
+	colIdx := make([]uint32, len(us))
+	val := make([]float64, len(us))
+	next := make([]int64, rows)
+	copy(next, counts[:rows])
+	for i, u := range us {
+		p := next[u]
+		next[u]++
+		colIdx[p] = vs[i]
+		val[p] = ws[i]
+	}
+	m := &CSR{NumRows: rows, NumCols: cols, RowPtr: counts, ColIdx: colIdx, Val: val}
+	m.sortAndMergeRows()
+	return m, nil
+}
+
+// sortAndMergeRows sorts each row by column and sums duplicate columns,
+// compacting storage in place.
+func (m *CSR) sortAndMergeRows() {
+	type rowRange struct{ lo, hi, outLen int64 }
+	ranges := make([]rowRange, m.NumRows)
+	par.For(m.NumRows, 64, func(r int) {
+		lo, hi := m.RowPtr[r], m.RowPtr[r+1]
+		cols := m.ColIdx[lo:hi]
+		vals := m.Val[lo:hi]
+		sort.Sort(&rowSorter{cols, vals})
+		// Merge duplicates in place.
+		out := 0
+		for i := 0; i < len(cols); i++ {
+			if out > 0 && cols[out-1] == cols[i] {
+				vals[out-1] += vals[i]
+				continue
+			}
+			cols[out] = cols[i]
+			vals[out] = vals[i]
+			out++
+		}
+		ranges[r] = rowRange{lo, hi, int64(out)}
+	})
+	// Compact sequentially.
+	newPtr := make([]int64, m.NumRows+1)
+	var w int64
+	for r := 0; r < m.NumRows; r++ {
+		rr := ranges[r]
+		copy(m.ColIdx[w:w+rr.outLen], m.ColIdx[rr.lo:rr.lo+rr.outLen])
+		copy(m.Val[w:w+rr.outLen], m.Val[rr.lo:rr.lo+rr.outLen])
+		w += rr.outLen
+		newPtr[r+1] = w
+	}
+	m.RowPtr = newPtr
+	m.ColIdx = m.ColIdx[:w]
+	m.Val = m.Val[:w]
+}
+
+type rowSorter struct {
+	cols []uint32
+	vals []float64
+}
+
+func (s *rowSorter) Len() int           { return len(s.cols) }
+func (s *rowSorter) Less(i, j int) bool { return s.cols[i] < s.cols[j] }
+func (s *rowSorter) Swap(i, j int) {
+	s.cols[i], s.cols[j] = s.cols[j], s.cols[i]
+	s.vals[i], s.vals[j] = s.vals[j], s.vals[i]
+}
+
+// FromTable builds an n×n CSR matrix from the sampler's hash table.
+func FromTable(n int, t *hashtable.Table) (*CSR, error) {
+	us, vs, ws := t.Drain()
+	return FromCOO(n, n, us, vs, ws)
+}
+
+// At returns entry (i, j), zero if absent. O(log degree) binary search;
+// intended for tests and spot checks, not inner loops.
+func (m *CSR) At(i int, j uint32) float64 {
+	lo, hi := m.RowPtr[i], m.RowPtr[i+1]
+	cols := m.ColIdx[lo:hi]
+	k := sort.Search(len(cols), func(p int) bool { return cols[p] >= j })
+	if k < len(cols) && cols[k] == j {
+		return m.Val[lo+int64(k)]
+	}
+	return 0
+}
+
+// SpMM computes Y = M·X for dense X, parallel over rows. Y must be
+// preallocated with shape (NumRows × X.Cols) and is overwritten.
+func SpMM(y *dense.Matrix, m *CSR, x *dense.Matrix) {
+	if m.NumCols != x.Rows || y.Rows != m.NumRows || y.Cols != x.Cols {
+		panic(fmt.Sprintf("sparse: SpMM shape mismatch (%dx%d)·(%dx%d)->(%dx%d)",
+			m.NumRows, m.NumCols, x.Rows, x.Cols, y.Rows, y.Cols))
+	}
+	par.For(m.NumRows, 16, func(i int) {
+		yi := y.Row(i)
+		for j := range yi {
+			yi[j] = 0
+		}
+		lo, hi := m.RowPtr[i], m.RowPtr[i+1]
+		for p := lo; p < hi; p++ {
+			a := m.Val[p]
+			xr := x.Row(int(m.ColIdx[p]))
+			for j, xv := range xr {
+				yi[j] += a * xv
+			}
+		}
+	})
+}
+
+// Transpose returns Mᵀ.
+func (m *CSR) Transpose() *CSR {
+	t := &CSR{NumRows: m.NumCols, NumCols: m.NumRows}
+	t.RowPtr = make([]int64, m.NumCols+1)
+	for _, c := range m.ColIdx {
+		t.RowPtr[c+1]++
+	}
+	for r := 0; r < m.NumCols; r++ {
+		t.RowPtr[r+1] += t.RowPtr[r]
+	}
+	t.ColIdx = make([]uint32, m.NNZ())
+	t.Val = make([]float64, m.NNZ())
+	next := make([]int64, m.NumCols)
+	copy(next, t.RowPtr[:m.NumCols])
+	for i := 0; i < m.NumRows; i++ {
+		for p := m.RowPtr[i]; p < m.RowPtr[i+1]; p++ {
+			c := m.ColIdx[p]
+			q := next[c]
+			next[c]++
+			t.ColIdx[q] = uint32(i)
+			t.Val[q] = m.Val[p]
+		}
+	}
+	return t
+}
+
+// ScaleRows multiplies row i by s[i] in place.
+func (m *CSR) ScaleRows(s []float64) {
+	par.For(m.NumRows, 64, func(i int) {
+		f := s[i]
+		for p := m.RowPtr[i]; p < m.RowPtr[i+1]; p++ {
+			m.Val[p] *= f
+		}
+	})
+}
+
+// ScaleCols multiplies column j by s[j] in place.
+func (m *CSR) ScaleCols(s []float64) {
+	par.For(int(m.NNZ()), 1<<14, func(p int) {
+		m.Val[p] *= s[m.ColIdx[p]]
+	})
+}
+
+// Scale multiplies every entry by f in place.
+func (m *CSR) Scale(f float64) {
+	par.For(int(m.NNZ()), 1<<14, func(p int) { m.Val[p] *= f })
+}
+
+// TruncLog applies trunc_log(x) = max(0, log x) entry-wise and drops entries
+// that become zero (x <= 1), returning a new, typically sparser matrix.
+// This is the step that makes the factorization equivalent to DeepWalk and
+// that NPR-style shortcuts omit (paper §3.1).
+func (m *CSR) TruncLog() *CSR {
+	counts := make([]int64, m.NumRows+1)
+	par.For(m.NumRows, 64, func(i int) {
+		var c int64
+		for p := m.RowPtr[i]; p < m.RowPtr[i+1]; p++ {
+			if m.Val[p] > 1 {
+				c++
+			}
+		}
+		counts[i+1] = c
+	})
+	for r := 0; r < m.NumRows; r++ {
+		counts[r+1] += counts[r]
+	}
+	out := &CSR{
+		NumRows: m.NumRows,
+		NumCols: m.NumCols,
+		RowPtr:  counts,
+		ColIdx:  make([]uint32, counts[m.NumRows]),
+		Val:     make([]float64, counts[m.NumRows]),
+	}
+	par.For(m.NumRows, 64, func(i int) {
+		w := out.RowPtr[i]
+		for p := m.RowPtr[i]; p < m.RowPtr[i+1]; p++ {
+			if m.Val[p] > 1 {
+				out.ColIdx[w] = m.ColIdx[p]
+				out.Val[w] = math.Log(m.Val[p])
+				w++
+			}
+		}
+	})
+	return out
+}
+
+// Apply replaces every stored value v with fn(row, col, v) in place. Entries
+// are not pruned even if fn returns zero.
+func (m *CSR) Apply(fn func(i int, j uint32, v float64) float64) {
+	par.For(m.NumRows, 64, func(i int) {
+		for p := m.RowPtr[i]; p < m.RowPtr[i+1]; p++ {
+			m.Val[p] = fn(i, m.ColIdx[p], m.Val[p])
+		}
+	})
+}
+
+// RowSums returns the vector of row sums.
+func (m *CSR) RowSums() []float64 {
+	s := make([]float64, m.NumRows)
+	par.For(m.NumRows, 64, func(i int) {
+		var sum float64
+		for p := m.RowPtr[i]; p < m.RowPtr[i+1]; p++ {
+			sum += m.Val[p]
+		}
+		s[i] = sum
+	})
+	return s
+}
+
+// Identity returns the n×n identity matrix.
+func Identity(n int) *CSR {
+	m := &CSR{NumRows: n, NumCols: n,
+		RowPtr: make([]int64, n+1),
+		ColIdx: make([]uint32, n),
+		Val:    make([]float64, n),
+	}
+	for i := 0; i < n; i++ {
+		m.RowPtr[i+1] = int64(i + 1)
+		m.ColIdx[i] = uint32(i)
+		m.Val[i] = 1
+	}
+	return m
+}
+
+// AddScaledIdentity returns M + c·I for a square matrix (new matrix; rows
+// stay sorted).
+func (m *CSR) AddScaledIdentity(c float64) *CSR {
+	if m.NumRows != m.NumCols {
+		panic("sparse: AddScaledIdentity requires a square matrix")
+	}
+	n := m.NumRows
+	us := make([]uint32, 0, m.NNZ()+int64(n))
+	vs := make([]uint32, 0, m.NNZ()+int64(n))
+	ws := make([]float64, 0, m.NNZ()+int64(n))
+	for i := 0; i < n; i++ {
+		for p := m.RowPtr[i]; p < m.RowPtr[i+1]; p++ {
+			us = append(us, uint32(i))
+			vs = append(vs, m.ColIdx[p])
+			ws = append(ws, m.Val[p])
+		}
+		us = append(us, uint32(i))
+		vs = append(vs, uint32(i))
+		ws = append(ws, c)
+	}
+	out, err := FromCOO(n, n, us, vs, ws)
+	if err != nil {
+		panic(err)
+	}
+	return out
+}

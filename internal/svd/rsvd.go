@@ -1,0 +1,150 @@
+// Package svd implements the randomized SVD of Halko, Martinsson & Tropp,
+// exactly following the paper's Algorithm 3 and its MKL-routine mapping:
+//
+//  1. sample Gaussian O (n×k) and P (k×k)    // vsRngGaussian
+//  2. Y = Aᵀ·O                               // mkl_sparse_s_mm
+//  3. orthonormalize Y                       // sgeqrf + sorgqr
+//  4. B = A·Y                                // mkl_sparse_s_mm
+//  5. Z = B·P                                // cblas_sgemm
+//  6. orthonormalize Z                       // sgeqrf + sorgqr
+//  7. C = Zᵀ·B                               // cblas_sgemm
+//  8. SVD  C = U·Σ·Vᵀ                        // sgesvd
+//  9. return Z·U, Σ, Y·V                     // cblas_sgemm
+//
+// Our kernels come from internal/dense and internal/sparse. Two optional
+// robustness knobs extend the paper's algorithm: oversampling (factor a few
+// extra columns and truncate) and subspace (power) iterations, both standard
+// in the randomized-SVD literature and both defaulting to the paper's
+// configuration (none).
+package svd
+
+import (
+	"fmt"
+	"math"
+
+	"lightne/internal/dense"
+	"lightne/internal/sparse"
+)
+
+// Options configures RandomizedSVD.
+type Options struct {
+	// Seed drives the Gaussian test matrices; fixed seed → fixed output.
+	Seed uint64
+	// Oversample adds extra sketch columns beyond the requested rank and
+	// truncates the result. 0 follows the paper.
+	Oversample int
+	// PowerIters applies (A·Aᵀ)^q to the sketch before projecting, sharpening
+	// the subspace when the spectrum decays slowly. 0 follows the paper.
+	PowerIters int
+}
+
+// Result holds a truncated SVD A ≈ U·diag(Sigma)·Vᵀ.
+type Result struct {
+	U     *dense.Matrix // n×d, left singular vectors
+	Sigma []float64     // d singular values, descending
+	V     *dense.Matrix // n×d, right singular vectors
+}
+
+// RandomizedSVD computes a rank-d approximate SVD of the (square, typically
+// symmetric) sparse matrix a. It returns an error on invalid shapes; d is
+// clamped to the matrix dimension.
+func RandomizedSVD(a *sparse.CSR, d int, opt Options) (*Result, error) {
+	if a.NumRows != a.NumCols {
+		return nil, fmt.Errorf("svd: matrix must be square, got %dx%d", a.NumRows, a.NumCols)
+	}
+	n := a.NumRows
+	if d <= 0 {
+		return nil, fmt.Errorf("svd: rank must be positive, got %d", d)
+	}
+	if n == 0 {
+		return nil, fmt.Errorf("svd: empty matrix")
+	}
+	if d > n {
+		d = n
+	}
+	k := d + opt.Oversample
+	if k > n {
+		k = n
+	}
+
+	at := a.Transpose()
+
+	// Step 1: Gaussian sketches.
+	o := dense.NewMatrix(n, k)
+	o.FillGaussian(opt.Seed)
+	p := dense.NewMatrix(k, k)
+	p.FillGaussian(opt.Seed + 0x9e3779b97f4a7c15)
+
+	// Step 2: Y = Aᵀ·O.
+	y := dense.NewMatrix(n, k)
+	sparse.SpMM(y, at, o)
+
+	// Optional subspace iteration: Y ← Aᵀ(A·Y), re-orthonormalizing.
+	for q := 0; q < opt.PowerIters; q++ {
+		y = dense.Orthonormalize(y)
+		tmp := dense.NewMatrix(n, k)
+		sparse.SpMM(tmp, a, y)
+		sparse.SpMM(y, at, tmp)
+	}
+
+	// Step 3: orthonormalize Y.
+	y = dense.Orthonormalize(y)
+
+	// Step 4: B = A·Y.
+	b := dense.NewMatrix(n, k)
+	sparse.SpMM(b, a, y)
+
+	// Step 5: Z = B·P.
+	z := dense.NewMatrix(n, k)
+	dense.MatMul(z, b, p)
+
+	// Step 6: orthonormalize Z.
+	z = dense.Orthonormalize(z)
+
+	// Step 7: C = Zᵀ·B (k×k).
+	c := dense.NewMatrix(k, k)
+	dense.MatMulATB(c, z, b)
+
+	// Step 8: SVD of the small projected matrix.
+	cu, sigma, cv := dense.SVD(c)
+
+	// Step 9: lift back: U = Z·CU, V = Y·CV; truncate to rank d.
+	u := dense.NewMatrix(n, k)
+	dense.MatMul(u, z, cu)
+	v := dense.NewMatrix(n, k)
+	dense.MatMul(v, y, cv)
+
+	return &Result{
+		U:     truncateCols(u, d),
+		Sigma: sigma[:d],
+		V:     truncateCols(v, d),
+	}, nil
+}
+
+// truncateCols returns the first d columns of m (copying when d < m.Cols).
+func truncateCols(m *dense.Matrix, d int) *dense.Matrix {
+	if d == m.Cols {
+		return m
+	}
+	out := dense.NewMatrix(m.Rows, d)
+	for i := 0; i < m.Rows; i++ {
+		copy(out.Row(i), m.Row(i)[:d])
+	}
+	return out
+}
+
+// EmbedFromSVD converts an SVD result into the embedding X = U·Σ^{1/2}
+// used by NetSMF and LightNE (paper §3.2).
+func EmbedFromSVD(r *Result) *dense.Matrix {
+	x := r.U.Clone()
+	for j, s := range r.Sigma {
+		root := 0.0
+		if s > 0 {
+			root = math.Sqrt(s)
+		}
+		for i := 0; i < x.Rows; i++ {
+			x.Set(i, j, x.At(i, j)*root)
+		}
+	}
+	return x
+}

@@ -1,0 +1,67 @@
+package svd
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"lightne/internal/dense"
+	"lightne/internal/rng"
+	"lightne/internal/sparse"
+)
+
+// TestRandomizedSVDMatchesDenseTopK: on random sparse symmetric matrices,
+// the randomized SVD with subspace iteration must recover the top-k
+// singular values computed by the exact dense Jacobi SVD.
+func TestRandomizedSVDMatchesDenseTopK(t *testing.T) {
+	f := func(seed uint16) bool {
+		s := rng.New(uint64(seed), 0)
+		n := 20 + s.Intn(30)
+		k := 3 + s.Intn(4)
+		// Random symmetric sparse matrix.
+		d := dense.NewMatrix(n, n)
+		for i := 0; i < n; i++ {
+			for j := i; j < n; j++ {
+				if s.Float64() < 0.2 {
+					v := s.NormFloat64()
+					d.Set(i, j, v)
+					d.Set(j, i, v)
+				}
+			}
+		}
+		var us, vs []uint32
+		var ws []float64
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if v := d.At(i, j); v != 0 {
+					us = append(us, uint32(i))
+					vs = append(vs, uint32(j))
+					ws = append(ws, v)
+				}
+			}
+		}
+		if len(us) == 0 {
+			return true // empty matrix, nothing to compare
+		}
+		m, err := sparse.FromCOO(n, n, us, vs, ws)
+		if err != nil {
+			return false
+		}
+		res, err := RandomizedSVD(m, k, Options{Seed: uint64(seed) + 1, Oversample: 10, PowerIters: 4})
+		if err != nil {
+			return false
+		}
+		_, exact, _ := dense.SVD(d)
+		for j := 0; j < k && j < len(exact); j++ {
+			tol := 0.05*exact[0] + 1e-9
+			if math.Abs(res.Sigma[j]-exact[j]) > tol {
+				t.Logf("seed %d: sigma[%d]=%g exact=%g", seed, j, res.Sigma[j], exact[j])
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,134 @@
+package lightne
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+
+	"lightne/internal/dense"
+)
+
+// Embedding persistence. Two formats are supported:
+//
+//   - text: one whitespace-separated row per vertex (interchange with
+//     numpy.loadtxt, gensim, etc.)
+//   - binary: a little-endian header (magic, rows, cols) followed by
+//     float64 data — ~3x smaller and ~20x faster than text for large
+//     embeddings.
+
+// embMagic identifies the binary embedding format ("LNE1").
+const embMagic = 0x314e454c
+
+// WriteEmbeddingText writes the matrix as one row of "%.6g" values per line.
+func WriteEmbeddingText(w io.Writer, x *Matrix) error {
+	bw := bufio.NewWriter(w)
+	for i := 0; i < x.Rows; i++ {
+		for j, v := range x.Row(i) {
+			if j > 0 {
+				if err := bw.WriteByte(' '); err != nil {
+					return err
+				}
+			}
+			if _, err := fmt.Fprintf(bw, "%.6g", v); err != nil {
+				return err
+			}
+		}
+		if err := bw.WriteByte('\n'); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadEmbeddingText parses a text embedding (rows of equal-length
+// whitespace-separated floats).
+func ReadEmbeddingText(r io.Reader) (*Matrix, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var data []float64
+	cols := -1
+	rows := 0
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) == 0 {
+			continue
+		}
+		if cols == -1 {
+			cols = len(fields)
+		} else if len(fields) != cols {
+			return nil, fmt.Errorf("lightne: row %d has %d columns, want %d", rows, len(fields), cols)
+		}
+		for _, f := range fields {
+			v, err := strconv.ParseFloat(f, 64)
+			if err != nil {
+				return nil, fmt.Errorf("lightne: row %d: %v", rows, err)
+			}
+			data = append(data, v)
+		}
+		rows++
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if rows == 0 {
+		return nil, fmt.Errorf("lightne: empty embedding")
+	}
+	return dense.FromSlice(rows, cols, data), nil
+}
+
+// WriteEmbeddingBinary writes the matrix in the LNE1 binary format.
+func WriteEmbeddingBinary(w io.Writer, x *Matrix) error {
+	bw := bufio.NewWriter(w)
+	var hdr [12]byte
+	binary.LittleEndian.PutUint32(hdr[0:], embMagic)
+	binary.LittleEndian.PutUint32(hdr[4:], uint32(x.Rows))
+	binary.LittleEndian.PutUint32(hdr[8:], uint32(x.Cols))
+	if _, err := bw.Write(hdr[:]); err != nil {
+		return err
+	}
+	var buf [8]byte
+	for _, v := range x.Data {
+		binary.LittleEndian.PutUint64(buf[:], math.Float64bits(v))
+		if _, err := bw.Write(buf[:]); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadEmbeddingBinary reads an LNE1 binary embedding.
+func ReadEmbeddingBinary(r io.Reader) (*Matrix, error) {
+	br := bufio.NewReader(r)
+	var hdr [12]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, fmt.Errorf("lightne: reading header: %w", err)
+	}
+	if binary.LittleEndian.Uint32(hdr[0:]) != embMagic {
+		return nil, fmt.Errorf("lightne: not an LNE1 embedding file")
+	}
+	rows := int(binary.LittleEndian.Uint32(hdr[4:]))
+	cols := int(binary.LittleEndian.Uint32(hdr[8:]))
+	if rows < 0 || cols < 0 || (cols != 0 && rows > (1<<31)/cols) {
+		return nil, fmt.Errorf("lightne: implausible embedding shape %dx%d", rows, cols)
+	}
+	// Grow with the data actually present so a corrupt header cannot force
+	// a huge allocation.
+	total := rows * cols
+	capHint := total
+	if capHint > 1<<18 {
+		capHint = 1 << 18
+	}
+	data := make([]float64, 0, capHint)
+	var buf [8]byte
+	for i := 0; i < total; i++ {
+		if _, err := io.ReadFull(br, buf[:]); err != nil {
+			return nil, fmt.Errorf("lightne: truncated embedding data: %w", err)
+		}
+		data = append(data, math.Float64frombits(binary.LittleEndian.Uint64(buf[:])))
+	}
+	return dense.FromSlice(rows, cols, data), nil
+}

@@ -1,0 +1,104 @@
+package lightne_test
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"lightne"
+	"lightne/internal/dense"
+)
+
+func TestEmbeddingTextRoundtrip(t *testing.T) {
+	x := dense.NewMatrix(7, 3)
+	x.FillGaussian(5)
+	var buf bytes.Buffer
+	if err := lightne.WriteEmbeddingText(&buf, x); err != nil {
+		t.Fatal(err)
+	}
+	y, err := lightne.ReadEmbeddingText(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if y.Rows != 7 || y.Cols != 3 {
+		t.Fatalf("shape %dx%d", y.Rows, y.Cols)
+	}
+	for i := range x.Data {
+		// Text format rounds to 6 significant digits.
+		if math.Abs(x.Data[i]-y.Data[i]) > 1e-5*math.Max(1, math.Abs(x.Data[i])) {
+			t.Fatalf("index %d: %g vs %g", i, x.Data[i], y.Data[i])
+		}
+	}
+}
+
+func TestEmbeddingBinaryRoundtripExact(t *testing.T) {
+	x := dense.NewMatrix(13, 5)
+	x.FillGaussian(9)
+	x.Set(0, 0, math.Inf(1)) // binary must preserve special values
+	x.Set(1, 1, -0.0)
+	var buf bytes.Buffer
+	if err := lightne.WriteEmbeddingBinary(&buf, x); err != nil {
+		t.Fatal(err)
+	}
+	y, err := lightne.ReadEmbeddingBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if y.Rows != x.Rows || y.Cols != x.Cols {
+		t.Fatalf("shape %dx%d", y.Rows, y.Cols)
+	}
+	for i := range x.Data {
+		if math.Float64bits(x.Data[i]) != math.Float64bits(y.Data[i]) {
+			t.Fatalf("index %d not bit-exact", i)
+		}
+	}
+}
+
+func TestReadEmbeddingErrors(t *testing.T) {
+	if _, err := lightne.ReadEmbeddingText(strings.NewReader("")); err == nil {
+		t.Fatal("expected empty error")
+	}
+	if _, err := lightne.ReadEmbeddingText(strings.NewReader("1 2\n3\n")); err == nil {
+		t.Fatal("expected ragged-row error")
+	}
+	if _, err := lightne.ReadEmbeddingText(strings.NewReader("1 x\n")); err == nil {
+		t.Fatal("expected parse error")
+	}
+	if _, err := lightne.ReadEmbeddingBinary(strings.NewReader("garbage")); err == nil {
+		t.Fatal("expected bad-magic error")
+	}
+	var buf bytes.Buffer
+	x := dense.NewMatrix(2, 2)
+	if err := lightne.WriteEmbeddingBinary(&buf, x); err != nil {
+		t.Fatal(err)
+	}
+	trunc := buf.Bytes()[:buf.Len()-5]
+	if _, err := lightne.ReadEmbeddingBinary(bytes.NewReader(trunc)); err == nil {
+		t.Fatal("expected truncation error")
+	}
+}
+
+func TestDynamicThroughPublicAPI(t *testing.T) {
+	arcs := []lightne.Edge{{U: 0, V: 1}, {U: 1, V: 2}, {U: 2, V: 0}, {U: 2, V: 3}, {U: 3, V: 4}, {U: 4, V: 5}, {U: 5, V: 3}}
+	g, err := lightne.NewGraph(6, arcs, lightne.DefaultGraphOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := lightne.DefaultConfig(4)
+	cfg.T = 3
+	emb, err := lightne.NewDynamicEmbedder(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := emb.AddEdges([]lightne.Edge{{U: 0, V: 5}}); err != nil {
+		t.Fatal(err)
+	}
+	x, err := emb.Embed()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if x.Rows != 6 || x.Cols != 4 {
+		t.Fatalf("shape %dx%d", x.Rows, x.Cols)
+	}
+}

@@ -1,0 +1,153 @@
+package lightne_test
+
+import (
+	"strings"
+	"testing"
+
+	"lightne"
+)
+
+func TestPublicAPIEndToEnd(t *testing.T) {
+	// A user's first contact with the library: load an edge list, embed,
+	// evaluate link prediction — exercised entirely through the public API.
+	edges := strings.NewReader(`
+# toy barbell
+0 1
+0 2
+1 2
+2 3
+3 4
+3 5
+4 5
+`)
+	g, err := lightne.LoadGraph(edges, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != 6 {
+		t.Fatalf("n=%d", g.NumVertices())
+	}
+	cfg := lightne.DefaultConfig(4)
+	cfg.T = 3
+	res, err := lightne.Embed(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Embedding.Rows != 6 || res.Embedding.Cols != 4 {
+		t.Fatalf("embedding %dx%d", res.Embedding.Rows, res.Embedding.Cols)
+	}
+}
+
+func TestPublicDatasetAndClassification(t *testing.T) {
+	ds, err := lightne.GenerateDataset("blogcatalog-like", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := lightne.SmallConfig(16)
+	cfg.T = 5
+	res, err := lightne.Embed(ds.Graph, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cr, err := lightne.NodeClassification(res.Embedding, ds.Labels.Of, ds.Labels.NumClasses,
+		0.5, 3, lightne.DefaultTrainConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	chance := 1.0 / float64(ds.Labels.NumClasses)
+	if cr.MicroF1 < 2*chance {
+		t.Fatalf("public-API pipeline micro-F1 %.3f not above chance", cr.MicroF1)
+	}
+}
+
+func TestPublicLinkPrediction(t *testing.T) {
+	ds, err := lightne.GenerateDataset("livejournal-like", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	train, test, err := lightne.SplitEdges(ds.Graph, 0.01, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := lightne.DefaultConfig(32)
+	cfg.T = 5
+	cfg.SampleMultiple = 2
+	res, err := lightne.Embed(train, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	auc := lightne.AUC(res.Embedding, test, 20, 7)
+	if auc < 0.7 {
+		t.Fatalf("link-prediction AUC %.3f too low", auc)
+	}
+	rk := lightne.Ranking(res.Embedding, test, 100, []int{1, 10, 50}, 9)
+	if rk.Hits[50] < rk.Hits[10] {
+		t.Fatal("HITS@K not monotone")
+	}
+	if rk.MR < 1 {
+		t.Fatalf("MR=%.2f below 1", rk.MR)
+	}
+}
+
+func TestDatasetNamesComplete(t *testing.T) {
+	names := lightne.DatasetNames()
+	if len(names) != 9 {
+		t.Fatalf("expected 9 dataset replicas (Table 3), got %d", len(names))
+	}
+}
+
+func TestBaselinesThroughPublicAPI(t *testing.T) {
+	ds, err := lightne.GenerateDataset("blogcatalog-like", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr, err := lightne.ProNE(ds.Graph, lightne.DefaultProNEConfig(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pr.Embedding.Cols != 8 {
+		t.Fatal("ProNE dim wrong")
+	}
+	dw := lightne.DefaultDeepWalkConfig(8)
+	dw.WalksPerNode = 1
+	dw.WalkLength = 10
+	x, err := lightne.DeepWalk(ds.Graph, dw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if x.Rows != ds.Graph.NumVertices() {
+		t.Fatal("DeepWalk rows wrong")
+	}
+	ln := lightne.DefaultLINEConfig(8)
+	ln.Samples = 10000
+	if _, err := lightne.LINE(ds.Graph, ln); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWeightedGraphThroughPublicAPI(t *testing.T) {
+	input := strings.NewReader("0 1 2.5\n1 2 1\n2 0\n")
+	g, err := lightne.LoadWeightedGraph(input, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.Weighted() {
+		t.Fatal("graph should be weighted")
+	}
+	if g.TotalWeight() != 2*(2.5+1+1) {
+		t.Fatalf("TotalWeight=%g", g.TotalWeight())
+	}
+	cfg := lightne.DefaultConfig(4)
+	cfg.T = 3
+	res, err := lightne.Embed(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Embedding.Rows != 3 {
+		t.Fatal("bad shape")
+	}
+	// ProNE also accepts weighted graphs.
+	if _, err := lightne.ProNE(g, lightne.DefaultProNEConfig(2)); err != nil {
+		t.Fatal(err)
+	}
+}
