@@ -1,0 +1,33 @@
+# Build/test entry points. `make tier1` is the repo's tier-1 verification
+# (referenced from ROADMAP.md); `make race` exercises the concurrent
+# serving + dynamic-update paths under the race detector; `make vet` runs
+# static checks.
+
+GO ?= go
+
+.PHONY: tier1 build test race vet bench serve-bench all
+
+all: tier1 vet
+
+tier1: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# The packages with real concurrency: the lock-free serving store under
+# query-during-hot-swap load, and the incremental embedder feeding it.
+race:
+	$(GO) test -race ./internal/serve ./internal/dynamic
+
+vet:
+	$(GO) vet ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Quick serving throughput/latency check (closed-loop load generator).
+serve-bench:
+	$(GO) test -run xxx -bench BenchmarkServing -benchtime 2000x .

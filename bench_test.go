@@ -9,6 +9,8 @@
 package lightne_test
 
 import (
+	"context"
+	"net/http/httptest"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -16,6 +18,7 @@ import (
 	"lightne"
 	"lightne/internal/aggregate"
 	"lightne/internal/compress"
+	"lightne/internal/dense"
 	"lightne/internal/eval"
 	"lightne/internal/experiments"
 	"lightne/internal/gen"
@@ -24,6 +27,7 @@ import (
 	"lightne/internal/prone"
 	"lightne/internal/rng"
 	"lightne/internal/sampler"
+	"lightne/internal/serve"
 )
 
 // benchExperiment wraps one paper artifact as a benchmark.
@@ -398,6 +402,46 @@ func BenchmarkAblation_CompactTable(b *testing.B) {
 			b.ReportMetric(float64(t.MemoryBytes()), "bytes")
 		}
 	})
+}
+
+// BenchmarkServing measures the serving subsystem's query path — the §1
+// deployments' end product (embeddings consumed by recommendation
+// queries). Closed-loop HTTP clients drive /v1/neighbors over a published
+// snapshot; qps and exact percentile latencies are reported per precision.
+func BenchmarkServing(b *testing.B) {
+	const vertices, dims = 5000, 64
+	x := dense.NewMatrix(vertices, dims)
+	x.FillGaussian(11)
+	for _, precision := range serve.Precisions() {
+		b.Run(precision, func(b *testing.B) {
+			ix, err := serve.NewIndex(x, precision)
+			if err != nil {
+				b.Fatal(err)
+			}
+			store := serve.NewStore()
+			store.Publish(ix, 0)
+			ts := httptest.NewServer(serve.New(store).Handler())
+			defer ts.Close()
+			b.ReportMetric(float64(ix.MemoryBytes()), "bytes")
+			b.ResetTimer()
+			rep, err := serve.RunLoad(context.Background(), ts.URL, serve.LoadConfig{
+				Workers:  8,
+				Requests: b.N,
+				Vertices: vertices,
+				K:        10,
+				Seed:     1,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if rep.Errors > 0 {
+				b.Fatalf("%d load errors", rep.Errors)
+			}
+			b.ReportMetric(rep.QPS, "qps")
+			b.ReportMetric(float64(rep.P50.Microseconds()), "p50-µs")
+			b.ReportMetric(float64(rep.P99.Microseconds()), "p99-µs")
+		})
+	}
 }
 
 func BenchmarkE11_DynamicEmbedding(b *testing.B)      { benchExperiment(b, "e11") }

@@ -20,13 +20,12 @@ import (
 	"strings"
 
 	"lightne"
-	"lightne/internal/dense"
 )
 
 func main() {
 	var (
 		task      = flag.String("task", "classify", "evaluation task: classify or linkpred")
-		embFile   = flag.String("embedding", "", "embedding file (one row per vertex; required)")
+		embFile   = flag.String("embedding", "", "embedding file, text rows or binary artifact (required)")
 		labels    = flag.String("labels", "", "labels file for -task classify")
 		testFile  = flag.String("test", "", "held-out edges file for -task linkpred")
 		ratio     = flag.Float64("ratio", 0.5, "training ratio for classification")
@@ -86,37 +85,8 @@ func loadMatrix(path string) (*lightne.Matrix, error) {
 		return nil, err
 	}
 	defer f.Close()
-	var data []float64
-	cols := -1
-	sc := bufio.NewScanner(f)
-	sc.Buffer(make([]byte, 1<<20), 1<<20)
-	rows := 0
-	for sc.Scan() {
-		fields := strings.Fields(sc.Text())
-		if len(fields) == 0 {
-			continue
-		}
-		if cols == -1 {
-			cols = len(fields)
-		} else if len(fields) != cols {
-			return nil, fmt.Errorf("row %d has %d columns, want %d", rows, len(fields), cols)
-		}
-		for _, fl := range fields {
-			v, err := strconv.ParseFloat(fl, 64)
-			if err != nil {
-				return nil, fmt.Errorf("row %d: %v", rows, err)
-			}
-			data = append(data, v)
-		}
-		rows++
-	}
-	if err := sc.Err(); err != nil {
-		return nil, err
-	}
-	if rows == 0 {
-		return nil, fmt.Errorf("empty embedding file")
-	}
-	return dense.FromSlice(rows, cols, data), nil
+	// Auto-detects the binary artifact format vs. text rows.
+	return lightne.ReadEmbedding(f)
 }
 
 func loadLabels(path string, n int) ([][]int, int, error) {

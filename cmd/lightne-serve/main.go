@@ -1,0 +1,131 @@
+// Command lightne-serve answers top-k nearest-neighbor and vector-lookup
+// queries over an embedding artifact produced by cmd/lightne, exposing a
+// JSON API:
+//
+//	GET  /healthz                       liveness + snapshot info
+//	GET  /metrics                       request counters, latency p50/p95/p99
+//	GET  /v1/neighbors?vertex=V&k=K     top-k cosine neighbors of V
+//	POST /v1/neighbors                  {"vertex": V, "k": K}
+//	POST /v1/batch                      {"queries": [{"vertex": V, "k": K}, ...]}
+//	GET  /v1/embedding/V                V's embedding vector
+//
+// Typical session:
+//
+//	lightne -input graph.txt -output emb.bin -binary -dim 128
+//	lightne-serve -artifact emb.bin -addr :7475 &
+//	curl 'localhost:7475/v1/neighbors?vertex=42&k=10'
+//
+// The artifact may be the versioned binary format (fastest) or text rows;
+// both are auto-detected. -precision int8 serves from 8x-smaller quantized
+// codes. The loaded snapshot is hot-swappable: SIGHUP (or -watch) reloads
+// the artifact and publishes it atomically with zero query downtime.
+// SIGINT/SIGTERM drain in-flight requests before exiting.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"lightne"
+	"lightne/internal/serve"
+)
+
+func main() {
+	var (
+		artifact  = flag.String("artifact", "", "embedding artifact from cmd/lightne, binary or text (required)")
+		addr      = flag.String("addr", ":7475", "listen address")
+		precision = flag.String("precision", "float32", "index precision: float32 (2x smaller than training output) or int8 (8x)")
+		watch     = flag.Duration("watch", 0, "poll the artifact at this interval and hot-swap on change (0 = SIGHUP only)")
+	)
+	flag.Parse()
+	log.SetFlags(log.LstdFlags | log.Lmicroseconds)
+	log.SetPrefix("lightne-serve: ")
+	if *artifact == "" {
+		fmt.Fprintln(os.Stderr, "lightne-serve: -artifact is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	store := serve.NewStore()
+	mtime, err := publishArtifact(store, *artifact, *precision)
+	if err != nil {
+		log.Fatal(err)
+	}
+	snap := store.Snapshot()
+	log.Printf("loaded %s: %d vertices x %d dims, %s index (%.1f MB)",
+		*artifact, snap.Index.Rows(), snap.Index.Dims(), *precision,
+		float64(snap.Index.MemoryBytes())/1e6)
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	// Hot-swap: SIGHUP reloads immediately; -watch polls the file's mtime.
+	hup := make(chan os.Signal, 1)
+	signal.Notify(hup, syscall.SIGHUP)
+	go func() {
+		var tick <-chan time.Time
+		if *watch > 0 {
+			t := time.NewTicker(*watch)
+			defer t.Stop()
+			tick = t.C
+		}
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-hup:
+			case <-tick:
+				st, err := os.Stat(*artifact)
+				if err != nil || !st.ModTime().After(mtime) {
+					continue
+				}
+			}
+			m, err := publishArtifact(store, *artifact, *precision)
+			if err != nil {
+				log.Printf("reload failed, keeping current snapshot: %v", err)
+				continue
+			}
+			mtime = m
+			s := store.Snapshot()
+			log.Printf("hot-swapped snapshot v%d: %d vertices x %d dims",
+				s.Version, s.Index.Rows(), s.Index.Dims())
+		}
+	}()
+
+	srv := serve.New(store)
+	log.Printf("serving on %s", *addr)
+	if err := srv.ListenAndServe(ctx, *addr); err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("shut down cleanly")
+}
+
+// publishArtifact loads the artifact and atomically publishes it, returning
+// the file's mtime for change detection.
+func publishArtifact(store *serve.Store, path, precision string) (time.Time, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return time.Time{}, err
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return time.Time{}, err
+	}
+	x, err := lightne.ReadEmbedding(f)
+	if err != nil {
+		return time.Time{}, fmt.Errorf("loading %s: %w", path, err)
+	}
+	ix, err := serve.NewIndex(x, precision)
+	if err != nil {
+		return time.Time{}, err
+	}
+	store.Publish(ix, 0)
+	return st.ModTime(), nil
+}

@@ -1,10 +1,12 @@
 // Command lightne embeds a graph from an edge-list file using the LightNE
 // pipeline and writes the embedding as text (one whitespace-separated row
-// per vertex).
+// per vertex) or, with -binary, in the versioned binary artifact format
+// that lightne-serve and lightne-eval load directly.
 //
 // Usage:
 //
 //	lightne -input graph.txt -output emb.txt -dim 128 -T 10 -samples 1.0
+//	lightne -input graph.txt -output emb.bin -binary   # serving artifact
 //
 // The input format is one "u v" pair per line; lines starting with '#' or
 // '%' are ignored. Per-stage timings are reported on stderr.
@@ -33,6 +35,7 @@ func main() {
 		compress   = flag.Bool("compress", false, "store the graph in Ligra+ parallel-byte compressed form")
 		weighted   = flag.Bool("weighted", false, "parse a third column as edge weight (\"u v w\" lines)")
 		binaryIn   = flag.Bool("binary-input", false, "read the LNG1 binary CSR format instead of text")
+		binaryOut  = flag.Bool("binary", false, "write the embedding in the versioned binary format (what lightne-serve loads fastest)")
 		vertices   = flag.Int("n", 0, "vertex count (0 = infer from max ID)")
 		propOrder  = flag.Int("prop-order", 10, "spectral propagation polynomial order k")
 		oversample = flag.Int("oversample", 0, "extra randomized-SVD sketch columns")
@@ -115,25 +118,12 @@ func main() {
 		defer f.Close()
 		out = f
 	}
-	w := bufio.NewWriter(out)
-	x := res.Embedding
-	for i := 0; i < x.Rows; i++ {
-		row := x.Row(i)
-		for j, v := range row {
-			if j > 0 {
-				if err := w.WriteByte(' '); err != nil {
-					fatal(err)
-				}
-			}
-			if _, err := fmt.Fprintf(w, "%.6g", v); err != nil {
-				fatal(err)
-			}
-		}
-		if err := w.WriteByte('\n'); err != nil {
-			fatal(err)
-		}
+	if *binaryOut {
+		err = lightne.WriteEmbeddingBinary(out, res.Embedding)
+	} else {
+		err = lightne.WriteEmbeddingText(out, res.Embedding)
 	}
-	if err := w.Flush(); err != nil {
+	if err != nil {
 		fatal(err)
 	}
 }

@@ -70,7 +70,7 @@ type Neighbor = eval.Neighbor
 
 // NearestNeighbors returns the k vertices most cosine-similar to v in
 // embedding x — the recommendation-style query embeddings serve downstream.
-func NearestNeighbors(x *Matrix, v uint32, k int) ([]Neighbor, error) {
+func NearestNeighbors(x *Matrix, v, k int) ([]Neighbor, error) {
 	return eval.NearestNeighbors(x, v, k)
 }
 

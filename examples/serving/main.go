@@ -1,21 +1,28 @@
 // Serving workflow (the paper's §1 motivation: embeddings "easily consumed
 // in downstream machine learning and recommendation algorithms"): embed a
-// community graph, quantize the embedding to int8 (8x smaller — the memory
-// that matters when millions of vectors stay resident for queries), and
-// compare top-k neighbor retrieval on the full-precision and quantized
-// forms.
+// community graph, publish it to the serving subsystem, and exercise the
+// real HTTP API end to end — neighbor queries, a hot snapshot swap fed by
+// the dynamic-update layer, a closed-loop load run, and the metrics the
+// server collected about all of it.
 //
 //	go run ./examples/serving
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"fmt"
+	"io"
 	"log"
+	"net"
+	"net/http"
 
 	"lightne"
+	"lightne/internal/serve"
 )
 
 func main() {
+	// 1. Train: embed a synthetic community graph.
 	ds, err := lightne.GenerateDataset("blogcatalog-like", 5)
 	if err != nil {
 		log.Fatal(err)
@@ -23,47 +30,99 @@ func main() {
 	cfg := lightne.DefaultConfig(32)
 	cfg.SampleMultiple = 5
 	cfg.Seed = 5
-	res, err := lightne.Embed(ds.Graph, cfg)
+	emb, err := lightne.NewDynamicEmbedder(ds.Graph, cfg)
 	if err != nil {
 		log.Fatal(err)
 	}
-	x := res.Embedding
 
-	f32 := lightne.QuantizeFloat32(x)
-	i8 := lightne.QuantizeInt8(x)
-	raw := int64(len(x.Data) * 8)
-	fmt.Printf("embedding storage: float64 %.1f KB, float32 %.1f KB (%.1fx), int8 %.1f KB (%.1fx)\n",
-		float64(raw)/1e3,
-		float64(f32.MemoryBytes())/1e3, float64(raw)/float64(f32.MemoryBytes()),
-		float64(i8.MemoryBytes())/1e3, float64(raw)/float64(i8.MemoryBytes()))
-
-	// Compare top-5 retrieval between exact and int8 for a few queries.
-	const k = 5
-	agree := 0
-	total := 0
-	for _, q := range []uint32{0, 100, 500, 1000, 1500} {
-		exact, err := lightne.NearestNeighbors(x, q, k)
-		if err != nil {
-			log.Fatal(err)
-		}
-		approx, _, err := i8.TopK(int(q), k)
-		if err != nil {
-			log.Fatal(err)
-		}
-		exactSet := map[uint32]bool{}
-		for _, nb := range exact {
-			exactSet[nb.Vertex] = true
-		}
-		overlap := 0
-		for _, v := range approx {
-			if exactSet[uint32(v)] {
-				overlap++
-			}
-		}
-		agree += overlap
-		total += k
-		fmt.Printf("query %4d: top-%d overlap %d/%d (best exact neighbor %d, cosine %.3f)\n",
-			q, k, overlap, k, exact[0].Vertex, exact[0].Cosine)
+	// 2. Publish: quantize to float32 and install as snapshot v1. The
+	// ingester bridges the dynamic embedder and the store.
+	store := serve.NewStore()
+	ing := serve.NewIngester(emb, store, serve.IngestConfig{MaxStaleness: 0.3})
+	if err := ing.PublishNow(); err != nil {
+		log.Fatal(err)
 	}
-	fmt.Printf("overall top-%d agreement between float64 and int8: %d/%d\n", k, agree, total)
+	snap := store.Snapshot()
+	fmt.Printf("published snapshot v%d: %d vertices x %d dims (%.1f MB float32 index)\n",
+		snap.Version, snap.Index.Rows(), snap.Index.Dims(), float64(snap.Index.MemoryBytes())/1e6)
+
+	// 3. Serve: real HTTP server on a loopback port.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv := serve.New(store)
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(ctx, ln) }()
+	go func() { _ = ing.Run(ctx) }()
+	base := "http://" + ln.Addr().String()
+	fmt.Printf("serving on %s\n", base)
+
+	// 4. Query over HTTP, as a downstream recommender would.
+	var nbrs serve.NeighborsResponse
+	mustGet(base+"/v1/neighbors?vertex=100&k=5", &nbrs)
+	fmt.Println("top-5 neighbors of vertex 100:")
+	for _, nb := range nbrs.Neighbors {
+		fmt.Printf("  vertex %4d  cosine %.3f\n", nb.Vertex, nb.Score)
+	}
+
+	// 5. Hot swap: stream an edge batch through the dynamic layer; the
+	// refreshed embedding publishes atomically while queries continue.
+	n := uint32(ds.Graph.NumVertices())
+	batch := []lightne.Edge{{U: 100, V: n}, {U: n, V: 101}, {U: n, V: 102}}
+	if err := ing.Submit(ctx, batch); err != nil {
+		log.Fatal(err)
+	}
+	var health serve.HealthResponse
+	for health.SnapshotVersion < 2 {
+		mustGet(base+"/healthz", &health)
+	}
+	fmt.Printf("hot-swapped to snapshot v%d after edge batch (staleness %.3f, %d vertices)\n",
+		health.SnapshotVersion, health.Staleness, health.Vertices)
+	mustGet(base+fmt.Sprintf("/v1/neighbors?vertex=%d&k=3", n), &nbrs)
+	fmt.Printf("new vertex %d's neighbors: ", n)
+	for _, nb := range nbrs.Neighbors {
+		fmt.Printf("%d ", nb.Vertex)
+	}
+	fmt.Println()
+
+	// 6. Load: closed-loop throughput/latency measurement.
+	rep, err := serve.RunLoad(ctx, base, serve.LoadConfig{
+		Workers:  8,
+		Requests: 2000,
+		Vertices: int(n),
+		K:        10,
+		Seed:     1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("load run:", rep)
+
+	// 7. Observability: what the server recorded about all of the above.
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		log.Fatal(err)
+	}
+	metrics, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	fmt.Printf("server metrics:\n%s", metrics)
+
+	cancel()
+	if err := <-done; err != nil {
+		log.Fatal(err)
+	}
+}
+
+func mustGet(url string, out any) {
+	resp, err := http.Get(url)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		log.Fatalf("decoding %s: %v", url, err)
+	}
 }

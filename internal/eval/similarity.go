@@ -11,7 +11,7 @@ import (
 
 // Neighbor is one nearest-neighbor query result.
 type Neighbor struct {
-	Vertex uint32
+	Vertex int
 	Cosine float64
 }
 
@@ -19,9 +19,9 @@ type Neighbor struct {
 // in embedding x (excluding v itself), sorted by decreasing similarity —
 // the item-recommendation query the paper's §1 deployments serve from
 // embeddings. Brute force O(n·d); ties break toward lower vertex IDs.
-func NearestNeighbors(x *dense.Matrix, v uint32, k int) ([]Neighbor, error) {
+func NearestNeighbors(x *dense.Matrix, v, k int) ([]Neighbor, error) {
 	n := x.Rows
-	if int(v) >= n {
+	if v < 0 || v >= n {
 		return nil, fmt.Errorf("eval: vertex %d outside embedding with %d rows", v, n)
 	}
 	if k <= 0 {
@@ -36,10 +36,10 @@ func NearestNeighbors(x *dense.Matrix, v uint32, k int) ([]Neighbor, error) {
 		norms[i] = math.Sqrt(s)
 	})
 	sims := make([]float64, n)
-	qv := x.Row(int(v))
+	qv := x.Row(v)
 	qn := norms[v]
 	par.For(n, 256, func(i int) {
-		if uint32(i) == v || norms[i] == 0 || qn == 0 {
+		if i == v || norms[i] == 0 || qn == 0 {
 			sims[i] = math.Inf(-1)
 			return
 		}
@@ -64,10 +64,10 @@ func NearestNeighbors(x *dense.Matrix, v uint32, k int) ([]Neighbor, error) {
 	}
 	out := make([]Neighbor, 0, k)
 	for _, i := range idx {
-		if uint32(i) == v || math.IsInf(sims[i], -1) {
+		if i == v || math.IsInf(sims[i], -1) {
 			continue
 		}
-		out = append(out, Neighbor{Vertex: uint32(i), Cosine: sims[i]})
+		out = append(out, Neighbor{Vertex: i, Cosine: sims[i]})
 		if len(out) == k {
 			break
 		}

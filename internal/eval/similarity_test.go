@@ -54,6 +54,9 @@ func TestNearestNeighborsErrors(t *testing.T) {
 	if _, err := NearestNeighbors(x, 9, 1); err == nil {
 		t.Fatal("expected out-of-range error")
 	}
+	if _, err := NearestNeighbors(x, -1, 1); err == nil {
+		t.Fatal("expected negative-vertex error")
+	}
 	if _, err := NearestNeighbors(x, 0, 0); err == nil {
 		t.Fatal("expected k error")
 	}

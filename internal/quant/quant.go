@@ -15,6 +15,7 @@ package quant
 import (
 	"fmt"
 	"math"
+	"sort"
 
 	"lightne/internal/dense"
 	"lightne/internal/par"
@@ -50,6 +51,46 @@ func (e *Float32Embedding) MemoryBytes() int64 { return int64(len(e.Data)) * 4 }
 // Row returns row i.
 func (e *Float32Embedding) Row(i int) []float32 {
 	return e.Data[i*e.Cols : (i+1)*e.Cols]
+}
+
+// TopK returns the k rows most cosine-similar to row v (excluding v),
+// computed directly on the single-precision data — no dequantization to
+// float64 on the query path. Similarities are computed in parallel across
+// rows; selection is a single O(n log k) heap pass. Ties break toward
+// lower row IDs.
+func (e *Float32Embedding) TopK(v, k int) ([]int, []float64, error) {
+	if v < 0 || v >= e.Rows {
+		return nil, nil, fmt.Errorf("quant: row %d out of range", v)
+	}
+	if k <= 0 {
+		return nil, nil, fmt.Errorf("quant: k must be positive")
+	}
+	q := e.Row(v)
+	var qn float64
+	for _, x := range q {
+		qn += float64(x) * float64(x)
+	}
+	qn = math.Sqrt(qn)
+	sims := make([]float64, e.Rows)
+	par.For(e.Rows, 128, func(i int) {
+		if i == v || qn == 0 {
+			sims[i] = math.Inf(-1)
+			return
+		}
+		row := e.Row(i)
+		var dot, nn float64
+		for j, x := range row {
+			dot += float64(x) * float64(q[j])
+			nn += float64(x) * float64(x)
+		}
+		if nn == 0 {
+			sims[i] = math.Inf(-1)
+			return
+		}
+		sims[i] = dot / (math.Sqrt(nn) * qn)
+	})
+	idx, vals := selectTopK(sims, k)
+	return idx, vals, nil
 }
 
 // Cosine computes the cosine similarity between rows u and v.
@@ -160,25 +201,83 @@ func (e *Int8Embedding) TopK(v, k int) ([]int, []float64, error) {
 		}
 		sims[i] = e.Cosine(v, i)
 	})
-	if k > e.Rows-1 {
-		k = e.Rows - 1
-	}
-	idx := make([]int, 0, k)
-	taken := make([]bool, e.Rows)
-	vals := make([]float64, 0, k)
-	for len(idx) < k {
-		best, bestSim := -1, math.Inf(-1)
-		for i, s := range sims {
-			if !taken[i] && s > bestSim {
-				best, bestSim = i, s
-			}
-		}
-		if best < 0 || math.IsInf(bestSim, -1) {
-			break
-		}
-		taken[best] = true
-		idx = append(idx, best)
-		vals = append(vals, bestSim)
-	}
+	idx, vals := selectTopK(sims, k)
 	return idx, vals, nil
+}
+
+// selectTopK picks the k largest finite similarities in one pass with a
+// size-k min-heap (O(n log k)), returning indices and values sorted by
+// decreasing similarity, ties toward lower indices. Entries equal to -Inf
+// (the self row and excluded rows) are skipped.
+func selectTopK(sims []float64, k int) ([]int, []float64) {
+	if k > len(sims) {
+		k = len(sims)
+	}
+	// heap[0] is the current worst of the kept set; "less" prefers lower
+	// similarity, then higher index, so the entry evicted first is the one
+	// that must lose ties.
+	type entry struct {
+		sim float64
+		idx int
+	}
+	h := make([]entry, 0, k)
+	less := func(a, b entry) bool {
+		if a.sim != b.sim {
+			return a.sim < b.sim
+		}
+		return a.idx > b.idx
+	}
+	siftDown := func(i int) {
+		for {
+			l, r := 2*i+1, 2*i+2
+			small := i
+			if l < len(h) && less(h[l], h[small]) {
+				small = l
+			}
+			if r < len(h) && less(h[r], h[small]) {
+				small = r
+			}
+			if small == i {
+				return
+			}
+			h[i], h[small] = h[small], h[i]
+			i = small
+		}
+	}
+	for i, s := range sims {
+		if math.IsInf(s, -1) {
+			continue
+		}
+		e := entry{sim: s, idx: i}
+		if len(h) < k {
+			h = append(h, e)
+			// Sift up.
+			for c := len(h) - 1; c > 0; {
+				p := (c - 1) / 2
+				if !less(h[c], h[p]) {
+					break
+				}
+				h[c], h[p] = h[p], h[c]
+				c = p
+			}
+			continue
+		}
+		if k > 0 && less(h[0], e) {
+			h[0] = e
+			siftDown(0)
+		}
+	}
+	sort.Slice(h, func(a, b int) bool {
+		if h[a].sim != h[b].sim {
+			return h[a].sim > h[b].sim
+		}
+		return h[a].idx < h[b].idx
+	})
+	idx := make([]int, len(h))
+	vals := make([]float64, len(h))
+	for i, e := range h {
+		idx[i] = e.idx
+		vals[i] = e.sim
+	}
+	return idx, vals
 }

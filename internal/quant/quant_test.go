@@ -116,13 +116,13 @@ func TestInt8TopKMatchesExact(t *testing.T) {
 		t.Fatal(err)
 	}
 	// The quantized top-5 must heavily overlap the exact top-5.
-	exactSet := map[uint32]bool{}
+	exactSet := map[int]bool{}
 	for _, nb := range exact {
 		exactSet[nb.Vertex] = true
 	}
 	overlap := 0
 	for _, i := range idx {
-		if exactSet[uint32(i)] {
+		if exactSet[i] {
 			overlap++
 		}
 	}
@@ -134,6 +134,58 @@ func TestInt8TopKMatchesExact(t *testing.T) {
 		if vals[i] > vals[i-1]+1e-12 {
 			t.Fatal("TopK not sorted")
 		}
+	}
+}
+
+func TestFloat32TopKMatchesExact(t *testing.T) {
+	x := testEmbedding(80, 16, 13)
+	q := ToFloat32(x)
+	for _, query := range []int{0, 17, 79} {
+		idx, vals, err := q.TopK(query, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(idx) != 7 || len(vals) != 7 {
+			t.Fatalf("TopK sizes %d %d", len(idx), len(vals))
+		}
+		exact, err := eval.NearestNeighbors(x, query, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// float32 truncation is ~1e-7: order must match exactly here.
+		for i, nb := range exact {
+			if idx[i] != nb.Vertex {
+				t.Fatalf("query %d rank %d: got %d want %d", query, i, idx[i], nb.Vertex)
+			}
+			if math.Abs(vals[i]-nb.Cosine) > 1e-5 {
+				t.Fatalf("query %d rank %d: cosine %g vs %g", query, i, vals[i], nb.Cosine)
+			}
+		}
+		for _, i := range idx {
+			if i == query {
+				t.Fatal("query row returned as its own neighbor")
+			}
+		}
+	}
+}
+
+func TestFloat32TopKErrorsAndClamp(t *testing.T) {
+	q := ToFloat32(testEmbedding(5, 3, 15))
+	if _, _, err := q.TopK(5, 1); err == nil {
+		t.Fatal("expected range error")
+	}
+	if _, _, err := q.TopK(-1, 1); err == nil {
+		t.Fatal("expected range error")
+	}
+	if _, _, err := q.TopK(0, 0); err == nil {
+		t.Fatal("expected k error")
+	}
+	idx, _, err := q.TopK(0, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(idx) != 4 {
+		t.Fatalf("clamped k: got %d results", len(idx))
 	}
 }
 

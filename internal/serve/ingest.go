@@ -1,0 +1,122 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"sync/atomic"
+
+	"lightne/internal/dynamic"
+	"lightne/internal/graph"
+)
+
+// Ingester connects the dynamic-update layer to the serving layer: edge
+// batches are submitted from the write path, sampled incrementally by a
+// dynamic.Embedder (cost proportional to the batch, not the graph), and
+// each re-embedding is published to the Store as a fresh immutable
+// snapshot. Queries never block on ingestion — they keep reading the
+// previous snapshot until the atomic swap.
+type Ingester struct {
+	emb       *dynamic.Embedder
+	store     *Store
+	cfg       IngestConfig
+	batches   chan []graph.Edge
+	published atomic.Int64
+}
+
+// IngestConfig tunes the background ingestion loop.
+type IngestConfig struct {
+	// Precision of published indexes ("float32" or "int8"; "" = float32).
+	Precision string
+	// MaxStaleness triggers a full resample (Embedder.Refresh) when the
+	// embedder's staleness ratio exceeds it after a batch. 0 disables
+	// automatic refresh.
+	MaxStaleness float64
+	// QueueSize bounds the submit channel (default 16). Submit blocks when
+	// the queue is full, applying back-pressure to the write path.
+	QueueSize int
+}
+
+// NewIngester wires an embedder to a store. Call Run in a goroutine, then
+// Submit edge batches; PublishNow publishes the embedder's current state
+// immediately (typically once at startup).
+func NewIngester(emb *dynamic.Embedder, store *Store, cfg IngestConfig) *Ingester {
+	qs := cfg.QueueSize
+	if qs <= 0 {
+		qs = 16
+	}
+	return &Ingester{
+		emb:     emb,
+		store:   store,
+		cfg:     cfg,
+		batches: make(chan []graph.Edge, qs),
+	}
+}
+
+// Submit queues an edge batch for ingestion, blocking when the queue is
+// full (back-pressure) or returning ctx's error when canceled first.
+func (in *Ingester) Submit(ctx context.Context, batch []graph.Edge) error {
+	select {
+	case in.batches <- batch:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Published reports how many snapshots the ingester has published.
+func (in *Ingester) Published() int64 { return in.published.Load() }
+
+// PublishNow embeds the current graph state and publishes it.
+func (in *Ingester) PublishNow() error {
+	x, err := in.emb.Embed()
+	if err != nil {
+		return fmt.Errorf("serve: embedding for publish: %w", err)
+	}
+	ix, err := NewIndex(x, in.cfg.Precision)
+	if err != nil {
+		return err
+	}
+	in.store.Publish(ix, in.emb.Staleness())
+	in.published.Add(1)
+	return nil
+}
+
+// Run consumes submitted batches until ctx is canceled. Each iteration
+// drains every batch already queued (coalescing bursts into one
+// re-embedding), applies them to the embedder, resamples fully when the
+// staleness bound is exceeded, and publishes the refreshed snapshot.
+// Returns nil on cancellation, or the first ingestion error (the embedder
+// may be inconsistent after an error, so the loop stops).
+func (in *Ingester) Run(ctx context.Context) error {
+	for {
+		var batch []graph.Edge
+		select {
+		case <-ctx.Done():
+			return nil
+		case batch = <-in.batches:
+		}
+		if err := in.emb.AddEdges(batch); err != nil {
+			return fmt.Errorf("serve: applying batch: %w", err)
+		}
+		// Coalesce: a burst of submissions becomes one factorization.
+	drain:
+		for {
+			select {
+			case more := <-in.batches:
+				if err := in.emb.AddEdges(more); err != nil {
+					return fmt.Errorf("serve: applying batch: %w", err)
+				}
+			default:
+				break drain
+			}
+		}
+		if in.cfg.MaxStaleness > 0 && in.emb.Staleness() > in.cfg.MaxStaleness {
+			if err := in.emb.Refresh(); err != nil {
+				return fmt.Errorf("serve: staleness refresh: %w", err)
+			}
+		}
+		if err := in.PublishNow(); err != nil {
+			return err
+		}
+	}
+}

@@ -1,0 +1,138 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"lightne/internal/rng"
+)
+
+// Closed-loop load generator: each worker is a synchronous client issuing
+// the next query as soon as the previous response lands, the standard way
+// to measure a server's latency/throughput curve without coordinated
+// omission from an open-loop arrival process.
+
+// LoadConfig parameterizes a load run.
+type LoadConfig struct {
+	// Workers is the number of concurrent closed-loop clients (default 4).
+	Workers int
+	// Requests is the total request budget across workers (default 1000).
+	Requests int
+	// Vertices is the vertex ID space queries draw from uniformly
+	// (required, > 0).
+	Vertices int
+	// K is the neighbor count per query (default DefaultK).
+	K int
+	// Seed makes the query stream reproducible.
+	Seed uint64
+}
+
+// LoadReport summarizes a load run.
+type LoadReport struct {
+	Requests int
+	Errors   int // non-200 responses and transport failures
+	Elapsed  time.Duration
+	QPS      float64
+	P50      time.Duration
+	P95      time.Duration
+	P99      time.Duration
+	Max      time.Duration
+}
+
+func (r LoadReport) String() string {
+	return fmt.Sprintf("%d requests (%d errors) in %v: %.0f qps, p50 %v, p95 %v, p99 %v, max %v",
+		r.Requests, r.Errors, r.Elapsed.Round(time.Millisecond), r.QPS,
+		r.P50.Round(time.Microsecond), r.P95.Round(time.Microsecond),
+		r.P99.Round(time.Microsecond), r.Max.Round(time.Microsecond))
+}
+
+// RunLoad drives baseURL's /v1/neighbors endpoint until the request budget
+// is spent or ctx is canceled, and reports exact (sample-based, not
+// bucketed) latency percentiles.
+func RunLoad(ctx context.Context, baseURL string, cfg LoadConfig) (LoadReport, error) {
+	if cfg.Vertices <= 0 {
+		return LoadReport{}, fmt.Errorf("serve: LoadConfig.Vertices must be positive")
+	}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = 4
+	}
+	requests := cfg.Requests
+	if requests <= 0 {
+		requests = 1000
+	}
+	k := cfg.K
+	if k <= 0 {
+		k = DefaultK
+	}
+	client := &http.Client{Timeout: 30 * time.Second}
+	var remaining atomic.Int64
+	remaining.Store(int64(requests))
+	var issued, errs atomic.Int64
+	latencies := make([][]time.Duration, workers)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	start := time.Now()
+	for w := 0; w < workers; w++ {
+		go func(worker int) {
+			defer wg.Done()
+			src := rng.New(cfg.Seed, uint64(worker))
+			local := make([]time.Duration, 0, requests/workers+1)
+			for remaining.Add(-1) >= 0 && ctx.Err() == nil {
+				v := src.Intn(cfg.Vertices)
+				url := fmt.Sprintf("%s/v1/neighbors?vertex=%d&k=%d", baseURL, v, k)
+				issued.Add(1)
+				t0 := time.Now()
+				resp, err := client.Get(url)
+				if err != nil {
+					errs.Add(1)
+					continue
+				}
+				_, _ = io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				local = append(local, time.Since(t0))
+				if resp.StatusCode != http.StatusOK {
+					errs.Add(1)
+				}
+			}
+			latencies[worker] = local
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	var all []time.Duration
+	for _, l := range latencies {
+		all = append(all, l...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	rep := LoadReport{
+		Requests: int(issued.Load()),
+		Errors:   int(errs.Load()),
+		Elapsed:  elapsed,
+	}
+	if elapsed > 0 {
+		rep.QPS = float64(len(all)) / elapsed.Seconds()
+	}
+	if len(all) > 0 {
+		rep.P50 = percentile(all, 0.50)
+		rep.P95 = percentile(all, 0.95)
+		rep.P99 = percentile(all, 0.99)
+		rep.Max = all[len(all)-1]
+	}
+	return rep, nil
+}
+
+// percentile reads the q-th percentile from sorted samples (nearest-rank).
+func percentile(sorted []time.Duration, q float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q * float64(len(sorted)-1))
+	return sorted[i]
+}

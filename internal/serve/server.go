@@ -1,0 +1,347 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// Endpoint names used for routing and metrics labels.
+const (
+	epNeighbors = "neighbors"
+	epEmbedding = "embedding"
+	epBatch     = "batch"
+	epHealth    = "healthz"
+	epMetrics   = "metrics"
+)
+
+// DefaultK is the neighbor count used when a query omits k.
+const DefaultK = 10
+
+// MaxBatch bounds one /v1/batch request; larger batches get a 400 so a
+// single client cannot monopolize the scan workers.
+const MaxBatch = 1024
+
+// Server is the embedding-serving HTTP front end. All query endpoints read
+// the store's current snapshot with one atomic load; none of them lock.
+type Server struct {
+	store   *Store
+	metrics *Metrics
+	mux     *http.ServeMux
+}
+
+// New builds a server over the given snapshot store.
+func New(store *Store) *Server {
+	s := &Server{
+		store:   store,
+		metrics: NewMetrics(store, epNeighbors, epEmbedding, epBatch, epHealth, epMetrics),
+		mux:     http.NewServeMux(),
+	}
+	s.mux.HandleFunc("/v1/neighbors", s.instrument(epNeighbors, s.handleNeighbors))
+	s.mux.HandleFunc("GET /v1/embedding/{vertex}", s.instrument(epEmbedding, s.handleEmbedding))
+	s.mux.HandleFunc("POST /v1/batch", s.instrument(epBatch, s.handleBatch))
+	s.mux.HandleFunc("GET /healthz", s.instrument(epHealth, s.handleHealth))
+	s.mux.HandleFunc("GET /metrics", s.instrument(epMetrics, s.handleMetrics))
+	return s
+}
+
+// Handler returns the routing handler (useful for httptest and embedding
+// the API under a larger mux).
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Metrics exposes the server's metrics registry.
+func (s *Server) Metrics() *Metrics { return s.metrics }
+
+// Serve accepts connections on ln until ctx is canceled, then drains
+// in-flight requests (graceful shutdown).
+func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
+	srv := &http.Server{Handler: s.mux, ReadHeaderTimeout: 10 * time.Second}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+	select {
+	case <-ctx.Done():
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		return srv.Shutdown(shutdownCtx)
+	case err := <-errc:
+		return err
+	}
+}
+
+// ListenAndServe binds addr and runs Serve.
+func (s *Server) ListenAndServe(ctx context.Context, addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return s.Serve(ctx, ln)
+}
+
+// statusWriter captures the response code for metrics.
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.code = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// instrument wraps a handler with request counting and latency recording.
+func (s *Server) instrument(name string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+		h(sw, r)
+		s.metrics.Observe(name, time.Since(start), sw.code)
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+// NeighborsRequest is one k-NN query. K nil means DefaultK.
+type NeighborsRequest struct {
+	Vertex int  `json:"vertex"`
+	K      *int `json:"k,omitempty"`
+}
+
+// NeighborResult is one retrieved neighbor.
+type NeighborResult struct {
+	Vertex int     `json:"vertex"`
+	Score  float64 `json:"score"`
+}
+
+// NeighborsResponse answers /v1/neighbors.
+type NeighborsResponse struct {
+	Vertex          int              `json:"vertex"`
+	K               int              `json:"k"`
+	Neighbors       []NeighborResult `json:"neighbors"`
+	SnapshotVersion uint64           `json:"snapshot_version"`
+}
+
+// BatchRequest carries up to MaxBatch queries.
+type BatchRequest struct {
+	Queries []NeighborsRequest `json:"queries"`
+}
+
+// BatchResult is one per-query outcome; exactly one of Neighbors/Error is
+// meaningful.
+type BatchResult struct {
+	Vertex    int              `json:"vertex"`
+	Neighbors []NeighborResult `json:"neighbors,omitempty"`
+	Error     string           `json:"error,omitempty"`
+}
+
+// BatchResponse answers /v1/batch. All queries in a batch run against the
+// same snapshot, so results are mutually consistent even if a publish
+// lands mid-request.
+type BatchResponse struct {
+	Results         []BatchResult `json:"results"`
+	SnapshotVersion uint64        `json:"snapshot_version"`
+}
+
+// EmbeddingResponse answers /v1/embedding/{vertex}.
+type EmbeddingResponse struct {
+	Vertex          int       `json:"vertex"`
+	Dims            int       `json:"dims"`
+	Vector          []float32 `json:"vector"`
+	SnapshotVersion uint64    `json:"snapshot_version"`
+}
+
+// HealthResponse answers /healthz.
+type HealthResponse struct {
+	Status          string  `json:"status"`
+	SnapshotVersion uint64  `json:"snapshot_version,omitempty"`
+	Vertices        int     `json:"vertices,omitempty"`
+	Dims            int     `json:"dims,omitempty"`
+	Staleness       float64 `json:"staleness"`
+}
+
+// snapshotOr503 loads the current snapshot, answering 503 when the store
+// has not published yet (server warming up).
+func (s *Server) snapshotOr503(w http.ResponseWriter) *Snapshot {
+	snap := s.store.Snapshot()
+	if snap == nil {
+		writeError(w, http.StatusServiceUnavailable, "no snapshot published yet")
+	}
+	return snap
+}
+
+// resolveQuery validates one query against a snapshot, returning the
+// effective k or an HTTP error code.
+func resolveQuery(snap *Snapshot, q NeighborsRequest) (k int, status int, err error) {
+	if q.Vertex < 0 || q.Vertex >= snap.Index.Rows() {
+		return 0, http.StatusNotFound, fmt.Errorf("vertex %d not in snapshot (%d vertices)", q.Vertex, snap.Index.Rows())
+	}
+	k = DefaultK
+	if q.K != nil {
+		k = *q.K
+	}
+	if k <= 0 {
+		return 0, http.StatusBadRequest, fmt.Errorf("k must be positive, got %d", k)
+	}
+	return k, http.StatusOK, nil
+}
+
+func (s *Server) handleNeighbors(w http.ResponseWriter, r *http.Request) {
+	var q NeighborsRequest
+	switch r.Method {
+	case http.MethodGet:
+		vs := r.URL.Query().Get("vertex")
+		v, err := strconv.Atoi(vs)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "bad vertex %q", vs)
+			return
+		}
+		q.Vertex = v
+		if ks := r.URL.Query().Get("k"); ks != "" {
+			k, err := strconv.Atoi(ks)
+			if err != nil {
+				writeError(w, http.StatusBadRequest, "bad k %q", ks)
+				return
+			}
+			q.K = &k
+		}
+	case http.MethodPost:
+		if err := decodeJSON(r, &q); err != nil {
+			writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+			return
+		}
+	default:
+		writeError(w, http.StatusMethodNotAllowed, "use GET or POST")
+		return
+	}
+	snap := s.snapshotOr503(w)
+	if snap == nil {
+		return
+	}
+	k, status, err := resolveQuery(snap, q)
+	if err != nil {
+		writeError(w, status, "%v", err)
+		return
+	}
+	idx, scores, err := snap.Index.TopK(q.Vertex, k)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "query failed: %v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, NeighborsResponse{
+		Vertex:          q.Vertex,
+		K:               k,
+		Neighbors:       neighborResults(idx, scores),
+		SnapshotVersion: snap.Version,
+	})
+}
+
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	var req BatchRequest
+	if err := decodeJSON(r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	if len(req.Queries) == 0 {
+		writeError(w, http.StatusBadRequest, "empty batch")
+		return
+	}
+	if len(req.Queries) > MaxBatch {
+		writeError(w, http.StatusBadRequest, "batch of %d exceeds limit %d", len(req.Queries), MaxBatch)
+		return
+	}
+	snap := s.snapshotOr503(w)
+	if snap == nil {
+		return
+	}
+	resp := BatchResponse{Results: make([]BatchResult, len(req.Queries)), SnapshotVersion: snap.Version}
+	for i, q := range req.Queries {
+		res := BatchResult{Vertex: q.Vertex}
+		if k, _, err := resolveQuery(snap, q); err != nil {
+			res.Error = err.Error()
+		} else if idx, scores, err := snap.Index.TopK(q.Vertex, k); err != nil {
+			res.Error = err.Error()
+		} else {
+			res.Neighbors = neighborResults(idx, scores)
+		}
+		resp.Results[i] = res
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleEmbedding(w http.ResponseWriter, r *http.Request) {
+	vs := r.PathValue("vertex")
+	v, err := strconv.Atoi(vs)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad vertex %q", vs)
+		return
+	}
+	snap := s.snapshotOr503(w)
+	if snap == nil {
+		return
+	}
+	if v < 0 || v >= snap.Index.Rows() {
+		writeError(w, http.StatusNotFound, "vertex %d not in snapshot (%d vertices)", v, snap.Index.Rows())
+		return
+	}
+	writeJSON(w, http.StatusOK, EmbeddingResponse{
+		Vertex:          v,
+		Dims:            snap.Index.Dims(),
+		Vector:          snap.Index.Vector(v),
+		SnapshotVersion: snap.Version,
+	})
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	snap := s.store.Snapshot()
+	if snap == nil {
+		writeJSON(w, http.StatusServiceUnavailable, HealthResponse{Status: "loading"})
+		return
+	}
+	writeJSON(w, http.StatusOK, HealthResponse{
+		Status:          "ok",
+		SnapshotVersion: snap.Version,
+		Vertices:        snap.Index.Rows(),
+		Dims:            snap.Index.Dims(),
+		Staleness:       snap.Staleness,
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	_, _ = s.metrics.WriteTo(w)
+}
+
+func neighborResults(idx []int, scores []float64) []NeighborResult {
+	out := make([]NeighborResult, len(idx))
+	for i := range idx {
+		out[i] = NeighborResult{Vertex: idx[i], Score: scores[i]}
+	}
+	return out
+}
+
+// decodeJSON parses a request body, rejecting trailing garbage and unknown
+// fields so malformed clients fail loudly instead of silently querying
+// vertex 0.
+func decodeJSON(r *http.Request, v any) error {
+	dec := json.NewDecoder(http.MaxBytesReader(nil, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return err
+	}
+	if dec.More() {
+		return fmt.Errorf("trailing data after JSON value")
+	}
+	return nil
+}

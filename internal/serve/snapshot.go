@@ -1,0 +1,134 @@
+// Package serve implements LightNE's embedding-serving subsystem: the
+// paper's §1 motivation is that embeddings be "easily consumed in
+// downstream machine learning and recommendation algorithms", and this
+// package is the consumption side — a stdlib-only HTTP JSON API answering
+// top-k cosine nearest-neighbor queries over an embedding artifact.
+//
+// The design centers on immutable snapshots behind an atomic pointer:
+//
+//   - A Snapshot is a read-only vector index plus provenance (version,
+//     staleness, publish time). It is never mutated after Publish.
+//   - A Store holds the current snapshot in an atomic.Pointer, so the read
+//     path (every query) is a single atomic load — no locks, no reader
+//     registration, no pauses when a new snapshot lands.
+//   - An Ingester connects the dynamic-update layer (internal/dynamic) to
+//     serving: edge batches stream in, the embedder resamples only the new
+//     arcs, and the refreshed embedding is published as the next snapshot
+//     while in-flight queries keep reading the old one.
+//
+// Queries run on quantized stores (internal/quant): float32 by default
+// (half the memory of the training output, ~1e-7 error) or int8 (8x
+// smaller) — the serving-memory trade the paper's deployments care about.
+package serve
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"lightne/internal/dense"
+	"lightne/internal/quant"
+)
+
+// Index is the immutable vector store a snapshot answers queries from.
+// Implementations must be safe for concurrent readers.
+type Index interface {
+	// Rows returns the number of vectors (vertices).
+	Rows() int
+	// Dims returns the embedding dimension.
+	Dims() int
+	// Vector returns vertex v's embedding as float32 (dequantized if
+	// needed). The caller must not modify the returned slice.
+	Vector(v int) []float32
+	// TopK returns the k vertices most cosine-similar to v (excluding v),
+	// sorted by decreasing similarity.
+	TopK(v, k int) ([]int, []float64, error)
+	// MemoryBytes is the resident size of the store.
+	MemoryBytes() int64
+}
+
+// Precisions lists the supported index precisions.
+func Precisions() []string { return []string{"float32", "int8"} }
+
+// NewIndex quantizes a float64 embedding into a serving index at the given
+// precision ("float32" or "int8"; "" defaults to float32).
+func NewIndex(x *dense.Matrix, precision string) (Index, error) {
+	switch precision {
+	case "", "float32":
+		return f32Index{quant.ToFloat32(x)}, nil
+	case "int8":
+		return int8Index{quant.ToInt8(x)}, nil
+	default:
+		return nil, fmt.Errorf("serve: unknown precision %q (want float32 or int8)", precision)
+	}
+}
+
+// f32Index serves queries from a single-precision store.
+type f32Index struct{ e *quant.Float32Embedding }
+
+func (ix f32Index) Rows() int                              { return ix.e.Rows }
+func (ix f32Index) Dims() int                              { return ix.e.Cols }
+func (ix f32Index) Vector(v int) []float32                 { return ix.e.Row(v) }
+func (ix f32Index) TopK(v, k int) ([]int, []float64, error) { return ix.e.TopK(v, k) }
+func (ix f32Index) MemoryBytes() int64                     { return ix.e.MemoryBytes() }
+
+// int8Index serves queries directly on int8 codes (similarities never
+// leave the integer domain until normalization).
+type int8Index struct{ e *quant.Int8Embedding }
+
+func (ix int8Index) Rows() int { return ix.e.Rows }
+func (ix int8Index) Dims() int { return ix.e.Cols }
+
+func (ix int8Index) Vector(v int) []float32 {
+	out := make([]float32, ix.e.Cols)
+	s := ix.e.Scales[v]
+	codes := ix.e.Codes[v*ix.e.Cols : (v+1)*ix.e.Cols]
+	for j, c := range codes {
+		out[j] = s * float32(c)
+	}
+	return out
+}
+
+func (ix int8Index) TopK(v, k int) ([]int, []float64, error) { return ix.e.TopK(v, k) }
+func (ix int8Index) MemoryBytes() int64                      { return ix.e.MemoryBytes() }
+
+// Snapshot is one immutable published embedding generation.
+type Snapshot struct {
+	Index   Index
+	Version uint64
+	// Staleness is the embedder's staleness ratio at publish time (fraction
+	// of the edge set added since the last full resample); 0 for snapshots
+	// loaded from static artifacts.
+	Staleness float64
+	Published time.Time
+}
+
+// Store hands out the current snapshot with a single atomic load and
+// accepts new generations with a single atomic swap. Readers holding an
+// old snapshot keep using it unharmed — snapshots are immutable, so a
+// query that started before a Publish finishes on consistent data.
+type Store struct {
+	cur     atomic.Pointer[Snapshot]
+	version atomic.Uint64
+}
+
+// NewStore returns an empty store; Snapshot() is nil until the first
+// Publish.
+func NewStore() *Store { return &Store{} }
+
+// Snapshot returns the current generation, or nil before the first
+// publish. The result must be treated as read-only.
+func (s *Store) Snapshot() *Snapshot { return s.cur.Load() }
+
+// Publish installs a new generation built from ix and returns it. The
+// version counter increases monotonically across publishes.
+func (s *Store) Publish(ix Index, staleness float64) *Snapshot {
+	snap := &Snapshot{
+		Index:     ix,
+		Version:   s.version.Add(1),
+		Staleness: staleness,
+		Published: time.Now(),
+	}
+	s.cur.Store(snap)
+	return snap
+}

@@ -16,12 +16,27 @@ import (
 //
 //   - text: one whitespace-separated row per vertex (interchange with
 //     numpy.loadtxt, gensim, etc.)
-//   - binary: a little-endian header (magic, rows, cols) followed by
-//     float64 data — ~3x smaller and ~20x faster than text for large
+//   - binary: a little-endian header (magic, version, rows, cols) followed
+//     by float64 data — ~3x smaller and ~20x faster than text for large
 //     embeddings.
+//
+// Binary format history:
+//
+//	v1 ("LNE1"): magic, rows, cols — written by seed releases; no version
+//	             field, so the format could never evolve. Still readable.
+//	v2 ("LNEB"): magic, version, rows, cols — current. The explicit
+//	             version lets readers (notably lightne-serve, which must
+//	             reject corrupt or foreign artifacts with a clear error)
+//	             distinguish "not an embedding" from "newer format".
 
-// embMagic identifies the binary embedding format ("LNE1").
-const embMagic = 0x314e454c
+// embMagicV1 identifies the original version-less binary format ("LNE1").
+const embMagicV1 = 0x314e454c
+
+// embMagic identifies the versioned binary embedding format ("LNEB").
+const embMagic = 0x42454e4c
+
+// embVersion is the format version WriteEmbeddingBinary emits.
+const embVersion = 2
 
 // WriteEmbeddingText writes the matrix as one row of "%.6g" values per line.
 func WriteEmbeddingText(w io.Writer, x *Matrix) error {
@@ -80,13 +95,14 @@ func ReadEmbeddingText(r io.Reader) (*Matrix, error) {
 	return dense.FromSlice(rows, cols, data), nil
 }
 
-// WriteEmbeddingBinary writes the matrix in the LNE1 binary format.
+// WriteEmbeddingBinary writes the matrix in the current (v2) binary format.
 func WriteEmbeddingBinary(w io.Writer, x *Matrix) error {
 	bw := bufio.NewWriter(w)
-	var hdr [12]byte
+	var hdr [16]byte
 	binary.LittleEndian.PutUint32(hdr[0:], embMagic)
-	binary.LittleEndian.PutUint32(hdr[4:], uint32(x.Rows))
-	binary.LittleEndian.PutUint32(hdr[8:], uint32(x.Cols))
+	binary.LittleEndian.PutUint32(hdr[4:], embVersion)
+	binary.LittleEndian.PutUint32(hdr[8:], uint32(x.Rows))
+	binary.LittleEndian.PutUint32(hdr[12:], uint32(x.Cols))
 	if _, err := bw.Write(hdr[:]); err != nil {
 		return err
 	}
@@ -100,18 +116,33 @@ func WriteEmbeddingBinary(w io.Writer, x *Matrix) error {
 	return bw.Flush()
 }
 
-// ReadEmbeddingBinary reads an LNE1 binary embedding.
+// ReadEmbeddingBinary reads a binary embedding, accepting the current
+// versioned format and the version-less v1 files written by seed releases.
 func ReadEmbeddingBinary(r io.Reader) (*Matrix, error) {
 	br := bufio.NewReader(r)
-	var hdr [12]byte
-	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+	var word [4]byte
+	if _, err := io.ReadFull(br, word[:]); err != nil {
 		return nil, fmt.Errorf("lightne: reading header: %w", err)
 	}
-	if binary.LittleEndian.Uint32(hdr[0:]) != embMagic {
-		return nil, fmt.Errorf("lightne: not an LNE1 embedding file")
+	switch binary.LittleEndian.Uint32(word[:]) {
+	case embMagic:
+		if _, err := io.ReadFull(br, word[:]); err != nil {
+			return nil, fmt.Errorf("lightne: reading version: %w", err)
+		}
+		if v := binary.LittleEndian.Uint32(word[:]); v != embVersion {
+			return nil, fmt.Errorf("lightne: unsupported embedding format version %d (this build reads version %d; written by a newer tool?)", v, embVersion)
+		}
+	case embMagicV1:
+		// Legacy header: rows and cols follow the magic directly.
+	default:
+		return nil, fmt.Errorf("lightne: not a LightNE embedding file (bad magic %q)", word[:])
 	}
-	rows := int(binary.LittleEndian.Uint32(hdr[4:]))
-	cols := int(binary.LittleEndian.Uint32(hdr[8:]))
+	var shape [8]byte
+	if _, err := io.ReadFull(br, shape[:]); err != nil {
+		return nil, fmt.Errorf("lightne: reading shape: %w", err)
+	}
+	rows := int(binary.LittleEndian.Uint32(shape[0:]))
+	cols := int(binary.LittleEndian.Uint32(shape[4:]))
 	if rows < 0 || cols < 0 || (cols != 0 && rows > (1<<31)/cols) {
 		return nil, fmt.Errorf("lightne: implausible embedding shape %dx%d", rows, cols)
 	}
@@ -131,4 +162,25 @@ func ReadEmbeddingBinary(r io.Reader) (*Matrix, error) {
 		data = append(data, math.Float64frombits(binary.LittleEndian.Uint64(buf[:])))
 	}
 	return dense.FromSlice(rows, cols, data), nil
+}
+
+// ReadEmbedding loads an embedding in either supported format, sniffing the
+// binary magic (any version) and falling back to the text parser. This is
+// what the CLI tools use so an artifact written by `lightne` (text or
+// -binary) loads everywhere without format flags.
+func ReadEmbedding(r io.Reader) (*Matrix, error) {
+	br := bufio.NewReader(r)
+	head, err := br.Peek(4)
+	if err == nil && len(head) == 4 {
+		switch binary.LittleEndian.Uint32(head) {
+		case embMagic, embMagicV1:
+			return ReadEmbeddingBinary(br)
+		}
+		for _, b := range head {
+			if b != '\t' && b != '\n' && b != '\r' && (b < ' ' || b > '~') {
+				return nil, fmt.Errorf("lightne: not a LightNE embedding file (binary data with bad magic %q)", head)
+			}
+		}
+	}
+	return ReadEmbeddingText(br)
 }

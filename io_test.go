@@ -2,6 +2,7 @@ package lightne_test
 
 import (
 	"bytes"
+	"encoding/binary"
 	"math"
 	"strings"
 	"testing"
@@ -52,6 +53,77 @@ func TestEmbeddingBinaryRoundtripExact(t *testing.T) {
 		if math.Float64bits(x.Data[i]) != math.Float64bits(y.Data[i]) {
 			t.Fatalf("index %d not bit-exact", i)
 		}
+	}
+}
+
+func TestEmbeddingBinaryLegacyV1(t *testing.T) {
+	// Hand-craft a version-less v1 file ("LNE1": magic, rows, cols, data)
+	// as the seed releases wrote them; it must still read.
+	var buf bytes.Buffer
+	var hdr [12]byte
+	binary.LittleEndian.PutUint32(hdr[0:], 0x314e454c)
+	binary.LittleEndian.PutUint32(hdr[4:], 2)
+	binary.LittleEndian.PutUint32(hdr[8:], 3)
+	buf.Write(hdr[:])
+	want := []float64{1, 2, 3, 4, 5, 6}
+	var w [8]byte
+	for _, v := range want {
+		binary.LittleEndian.PutUint64(w[:], math.Float64bits(v))
+		buf.Write(w[:])
+	}
+	x, err := lightne.ReadEmbeddingBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if x.Rows != 2 || x.Cols != 3 {
+		t.Fatalf("shape %dx%d", x.Rows, x.Cols)
+	}
+	for i, v := range want {
+		if x.Data[i] != v {
+			t.Fatalf("index %d: %g", i, x.Data[i])
+		}
+	}
+}
+
+func TestEmbeddingBinaryUnsupportedVersion(t *testing.T) {
+	var buf bytes.Buffer
+	x := dense.NewMatrix(2, 2)
+	if err := lightne.WriteEmbeddingBinary(&buf, x); err != nil {
+		t.Fatal(err)
+	}
+	b := buf.Bytes()
+	binary.LittleEndian.PutUint32(b[4:], 99) // future version
+	_, err := lightne.ReadEmbeddingBinary(bytes.NewReader(b))
+	if err == nil || !strings.Contains(err.Error(), "version 99") {
+		t.Fatalf("want unsupported-version error, got %v", err)
+	}
+}
+
+func TestReadEmbeddingAutoDetect(t *testing.T) {
+	x := dense.NewMatrix(4, 3)
+	x.FillGaussian(21)
+	var bin, txt bytes.Buffer
+	if err := lightne.WriteEmbeddingBinary(&bin, x); err != nil {
+		t.Fatal(err)
+	}
+	if err := lightne.WriteEmbeddingText(&txt, x); err != nil {
+		t.Fatal(err)
+	}
+	for name, buf := range map[string]*bytes.Buffer{"binary": &bin, "text": &txt} {
+		y, err := lightne.ReadEmbedding(buf)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if y.Rows != 4 || y.Cols != 3 {
+			t.Fatalf("%s: shape %dx%d", name, y.Rows, y.Cols)
+		}
+	}
+	if _, err := lightne.ReadEmbedding(strings.NewReader("not numbers\n")); err == nil {
+		t.Fatal("expected error for unparseable input")
+	}
+	_, err := lightne.ReadEmbedding(bytes.NewReader([]byte{0xde, 0xad, 0xbe, 0xef, 1, 2, 3}))
+	if err == nil || !strings.Contains(err.Error(), "not a LightNE embedding file") {
+		t.Fatalf("binary garbage: want bad-magic rejection, got %v", err)
 	}
 }
 
