@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: tier1 build test race vet bench serve-bench all
+.PHONY: tier1 build test race vet bench bench-drain serve-bench check all
 
 all: tier1 vet
 
@@ -18,15 +18,26 @@ test:
 	$(GO) test ./...
 
 # The packages with real concurrency: the lock-free serving store under
-# query-during-hot-swap load, and the incremental embedder feeding it.
+# query-during-hot-swap load, the incremental embedder feeding it, and the
+# lock-free aggregation path (hash table + sharded aggregators + par
+# primitives) under Add/grow/Get interleaving.
 race:
-	$(GO) test -race ./internal/serve ./internal/dynamic
+	$(GO) test -race ./internal/serve ./internal/dynamic ./internal/hashtable ./internal/aggregate ./internal/par
+
+# One verification entry point: build + tests + static checks + race.
+check: tier1 vet race
 
 vet:
 	$(GO) vet ./...
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# Drain-path benchmarks (benchstat-friendly: -count=5 gives enough runs to
+# compare BenchmarkDrain vs BenchmarkDrainSequential and the aggregation
+# strategies; pipe two runs into `benchstat old.txt new.txt`).
+bench-drain:
+	$(GO) test -run xxx -bench 'BenchmarkDrain|BenchmarkAggregate' -benchmem -count=5 ./internal/hashtable ./internal/aggregate
 
 # Quick serving throughput/latency check (closed-loop load generator).
 serve-bench:

@@ -8,7 +8,10 @@
 //  2. per-worker hash tables merged at the end — PerWorkerTables;
 //  3. a single shared lock-free hash table with atomic xadd — SharedTable,
 //     a thin adapter over internal/hashtable, the design the paper (and
-//     this repository) ultimately selected.
+//     this repository) ultimately selected; optionally sharded across a
+//     power of two of sub-tables routed by high hash bits
+//     (NewShardedTable), which confines grow-lock stalls to one shard when
+//     the capacity hint is wrong.
 //
 // All three implement Aggregator and produce identical aggregates; the
 // benchmarks in bench_test.go reproduce the paper's conclusion that the
@@ -148,29 +151,89 @@ func (t *PerWorkerTables) MemoryBytes() int64 {
 }
 
 // SharedTable adapts internal/hashtable.Table to the Aggregator interface:
-// the design the paper selected.
+// the design the paper selected. It optionally splits the key space across
+// a power-of-two number of shards routed by the high bits of the table hash
+// (NewShardedTable). Sharding changes nothing semantically — fixed-point
+// accumulation is exact and commutative, so a sharded and an unsharded
+// aggregator produce bit-identical aggregates — but when the caller's
+// capacity hint is wrong, a grow stalls only the 1/shards fraction of
+// inserts routed to the full shard instead of every worker in the system.
 type SharedTable struct {
-	t *hashtable.Table
+	shards    []*hashtable.Table
+	shardBits uint
 }
 
 // NewSharedTable returns a shared-table aggregator presized for
 // capacityHint distinct edges.
 func NewSharedTable(capacityHint int) *SharedTable {
-	return &SharedTable{t: hashtable.New(capacityHint)}
+	return NewShardedTable(capacityHint, 1)
+}
+
+// NewShardedTable returns a shared-table aggregator split into shards
+// (rounded up to a power of two, minimum 1), each presized for its share of
+// capacityHint distinct edges.
+func NewShardedTable(capacityHint, shards int) *SharedTable {
+	if shards < 1 {
+		shards = 1
+	}
+	bits := uint(0)
+	for 1<<bits < shards {
+		bits++
+	}
+	n := 1 << bits
+	s := &SharedTable{shards: make([]*hashtable.Table, n), shardBits: bits}
+	perShard := (capacityHint + n - 1) / n
+	for i := range s.shards {
+		s.shards[i] = hashtable.New(perShard)
+	}
+	return s
 }
 
 // Add accumulates concurrently via CAS + xadd; the worker id is unused.
 func (s *SharedTable) Add(_ int, u, v uint32, w float64) {
-	s.t.Add(u, v, w)
+	key := hashtable.Key(u, v)
+	s.shards[hashtable.ShardOf(key, s.shardBits)].AddFixed(key, hashtable.ToFixed(w))
 }
 
-// Drain returns the table's entries.
+// Drain merges all shards with one exactly-sized allocation: per-shard
+// lengths, an exclusive scan for shard offsets, then every shard drains in
+// parallel into its disjoint region (each shard's drain is itself the
+// two-pass parallel fill).
 func (s *SharedTable) Drain() (us, vs []uint32, ws []float64) {
-	return s.t.Drain()
+	if len(s.shards) == 1 {
+		return s.shards[0].Drain()
+	}
+	offsets := make([]int64, len(s.shards))
+	for i, t := range s.shards {
+		offsets[i] = int64(t.Len())
+	}
+	total := par.ExclusiveScan(offsets)
+	us = make([]uint32, total)
+	vs = make([]uint32, total)
+	ws = make([]float64, total)
+	fns := make([]func(), len(s.shards))
+	for i := range s.shards {
+		i := i
+		fns[i] = func() {
+			lo := offsets[i]
+			s.shards[i].DrainInto(us[lo:], vs[lo:], ws[lo:])
+		}
+	}
+	par.Do(fns...)
+	return us, vs, ws
 }
 
-// MemoryBytes returns the table footprint.
-func (s *SharedTable) MemoryBytes() int64 { return s.t.MemoryBytes() }
+// MemoryBytes returns the aggregate footprint across shards.
+func (s *SharedTable) MemoryBytes() int64 {
+	var n int64
+	for _, t := range s.shards {
+		n += t.MemoryBytes()
+	}
+	return n
+}
+
+// Shards reports the shard count (1 for the unsharded mode).
+func (s *SharedTable) Shards() int { return len(s.shards) }
 
 // RunWorkload drives an aggregator with a deterministic synthetic sample
 // stream (nWorkers × perWorker samples over a keyspace with the given

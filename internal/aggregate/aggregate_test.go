@@ -87,6 +87,51 @@ func TestMemoryOrdering(t *testing.T) {
 	}
 }
 
+func TestShardedBitIdenticalToUnsharded(t *testing.T) {
+	// Sharding must not change a single bit of the fixed-point aggregates:
+	// the same keys land in the same-seeded accumulation, just routed to
+	// different shard tables.
+	const workers, perWorker, distinct = 8, 30000, 900
+	flat := NewSharedTable(distinct * 2)
+	sharded := NewShardedTable(distinct*2, 8)
+	if sharded.Shards() != 8 {
+		t.Fatalf("Shards()=%d want 8", sharded.Shards())
+	}
+	RunWorkload(flat, workers, perWorker, distinct, 11)
+	RunWorkload(sharded, workers, perWorker, distinct, 11)
+	fu, fv, fw := flat.Drain()
+	su, sv, sw := sharded.Drain()
+	if len(fu) != len(su) {
+		t.Fatalf("distinct edges differ: %d vs %d", len(fu), len(su))
+	}
+	got := drainMap(su, sv, sw)
+	for i := range fu {
+		k := hashtable.Key(fu[i], fv[i])
+		if got[k] != fw[i] { // exact: fixed-point accumulation is bit-identical
+			t.Fatalf("key %d: sharded %v flat %v", k, got[k], fw[i])
+		}
+	}
+}
+
+func TestShardedGrowsUnderBadHint(t *testing.T) {
+	// A wrong capacity hint must still yield exact aggregates: each shard
+	// grows independently without losing samples.
+	const workers, perWorker, distinct = 4, 20000, 5000
+	sharded := NewShardedTable(0, 4) // hint of zero: every shard must grow
+	total := RunWorkload(sharded, workers, perWorker, distinct, 19)
+	if math.Abs(total-workers*perWorker) > 1e-3 {
+		t.Fatalf("total %.3f want %d", total, workers*perWorker)
+	}
+}
+
+func TestShardedRoundsUpToPowerOfTwo(t *testing.T) {
+	for _, c := range []struct{ in, want int }{{-1, 1}, {0, 1}, {1, 1}, {2, 2}, {3, 4}, {5, 8}, {8, 8}, {9, 16}} {
+		if got := NewShardedTable(64, c.in).Shards(); got != c.want {
+			t.Fatalf("NewShardedTable(_, %d).Shards()=%d want %d", c.in, got, c.want)
+		}
+	}
+}
+
 func TestStreamDeterministic(t *testing.T) {
 	a := newStream(5, 1)
 	b := newStream(5, 1)

@@ -1,0 +1,60 @@
+package aggregate
+
+import (
+	"fmt"
+	"testing"
+
+	"lightne/internal/par"
+)
+
+// BenchmarkAggregate drives each aggregation strategy with the same
+// synthetic sample stream (paper §4.2 / §5.2.4: the shared table should win
+// on time and memory) and reports drained-edge throughput. Run via
+// `make bench-drain` and compare with benchstat.
+func BenchmarkAggregate(b *testing.B) {
+	const perWorker, distinct = 100000, 1 << 16
+	workers := par.Workers()
+	strategies := []struct {
+		name string
+		make func() Aggregator
+	}{
+		{"list-histogram", func() Aggregator { return NewListHistogram(workers) }},
+		{"per-worker-tables", func() Aggregator { return NewPerWorkerTables(workers) }},
+		{"shared-table", func() Aggregator { return NewSharedTable(distinct * 2) }},
+		{"sharded-table-8", func() Aggregator { return NewShardedTable(distinct*2, 8) }},
+		{"sharded-table-8-bad-hint", func() Aggregator { return NewShardedTable(64, 8) }},
+		{"shared-table-bad-hint", func() Aggregator { return NewSharedTable(64) }},
+	}
+	for _, s := range strategies {
+		b.Run(s.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				agg := s.make()
+				total := RunWorkload(agg, workers, perWorker, distinct, uint64(i))
+				if total <= 0 {
+					b.Fatal("empty aggregate")
+				}
+			}
+			b.ReportMetric(float64(workers*perWorker), "samples/op")
+		})
+	}
+}
+
+// BenchmarkShardedDrain isolates the merge-from-shards drain path.
+func BenchmarkShardedDrain(b *testing.B) {
+	const distinct = 1 << 18
+	for _, shards := range []int{1, 4, 16} {
+		b.Run(fmt.Sprintf("shards-%d", shards), func(b *testing.B) {
+			agg := NewShardedTable(distinct, shards)
+			for i := 0; i < distinct; i++ {
+				agg.Add(0, uint32(i), uint32(i>>3), 1)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				us, _, _ := agg.Drain()
+				if len(us) != distinct {
+					b.Fatalf("drained %d want %d", len(us), distinct)
+				}
+			}
+		})
+	}
+}

@@ -208,12 +208,12 @@ func (e *Embedder) Refresh() error {
 // Embed factorizes the accumulated sparsifier and (unless the config skips
 // it) applies spectral propagation, returning the current embedding.
 func (e *Embedder) Embed() (*dense.Matrix, error) {
-	us, vs, ws := e.table.Drain()
+	rowPtr, cols, ws := e.table.DrainCSR(e.g.NumVertices())
 	b := e.cfg.NegSamples
 	if b <= 0 {
 		b = 1
 	}
-	mat, err := netsmf.BuildMatrix(e.g, us, vs, ws, b, e.trials)
+	mat, err := netsmf.BuildMatrixCSR(e.g, rowPtr, cols, ws, b, e.trials)
 	if err != nil {
 		return nil, err
 	}

@@ -38,16 +38,75 @@ func BenchmarkAddContended(b *testing.B) {
 	wg.Wait()
 }
 
-func BenchmarkDrain(b *testing.B) {
-	t := New(1 << 18)
-	for i := 0; i < 1<<17; i++ {
-		t.Add(uint32(i), uint32(i), 1)
+// benchTable builds a table with the given number of distinct keys, shared
+// across drain benchmarks so parallel and sequential variants see identical
+// slot layouts.
+func benchTable(b *testing.B, distinct int) *Table {
+	b.Helper()
+	t := New(distinct)
+	for i := 0; i < distinct; i++ {
+		t.Add(uint32(i), uint32(i*7), 1)
 	}
+	if t.Len() != distinct {
+		b.Fatalf("built %d keys want %d", t.Len(), distinct)
+	}
+	return t
+}
+
+// drainSequential is the pre-parallelization single-threaded append loop,
+// kept as the benchmark baseline: compare BenchmarkDrain against
+// BenchmarkDrainSequential with benchstat to measure the drain speedup.
+func drainSequential(t *Table) (us, vs []uint32, ws []float64) {
+	n := t.Len()
+	us = make([]uint32, 0, n)
+	vs = make([]uint32, 0, n)
+	ws = make([]float64, 0, n)
+	for i, k := range t.keys {
+		if k == emptyKey {
+			continue
+		}
+		u, v := UnpackKey(k)
+		us = append(us, u)
+		vs = append(vs, v)
+		ws = append(ws, FromFixed(t.vals[i]))
+	}
+	return us, vs, ws
+}
+
+// BenchmarkDrain drains a table with 2^20 (≈1M) distinct keys through the
+// parallel two-pass path.
+func BenchmarkDrain(b *testing.B) {
+	t := benchTable(b, 1<<20)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		us, _, _ := t.Drain()
-		if len(us) == 0 {
-			b.Fatal("empty drain")
+		if len(us) != 1<<20 {
+			b.Fatal("bad drain")
+		}
+	}
+}
+
+// BenchmarkDrainSequential is the single-threaded baseline on the same table.
+func BenchmarkDrainSequential(b *testing.B) {
+	t := benchTable(b, 1<<20)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		us, _, _ := drainSequential(t)
+		if len(us) != 1<<20 {
+			b.Fatal("bad drain")
+		}
+	}
+}
+
+// BenchmarkDrainCSR measures the grouped drain feeding the sparsifier CSR.
+func BenchmarkDrainCSR(b *testing.B) {
+	const n = 1 << 20
+	t := benchTable(b, n)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rowPtr, _, _ := t.DrainCSR(n)
+		if rowPtr[n] != n {
+			b.Fatal("bad drain")
 		}
 	}
 }

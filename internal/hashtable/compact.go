@@ -1,7 +1,7 @@
 package hashtable
 
 import (
-	"math/bits"
+	"math"
 	"sync"
 	"sync/atomic"
 
@@ -34,9 +34,23 @@ type CompactTable struct {
 // weights.
 const CompactFixedPointShift = 10
 
-// ToCompactFixed converts a weight to 22.10 fixed point.
+// MaxCompactWeight is the largest single weight ToCompactFixed can
+// represent (just below 2^22); larger weights saturate rather than wrap.
+const MaxCompactWeight = float64(math.MaxUint32) / (1 << CompactFixedPointShift)
+
+// ToCompactFixed converts a weight to 22.10 fixed point. Like ToFixed, the
+// domain is clamped: negative weights and NaN map to 0, weights at or above
+// 2^22 saturate to the maximum, avoiding the platform-dependent behaviour
+// of an out-of-range float→uint32 conversion.
 func ToCompactFixed(w float64) uint32 {
-	return uint32(w*(1<<CompactFixedPointShift) + 0.5)
+	if !(w > 0) {
+		return 0
+	}
+	f := w*(1<<CompactFixedPointShift) + 0.5
+	if f >= 1<<32 {
+		return math.MaxUint32
+	}
+	return uint32(f)
 }
 
 // FromCompactFixed converts a 22.10 fixed-point weight back to float64.
@@ -44,14 +58,11 @@ func FromCompactFixed(f uint32) float64 {
 	return float64(f) / (1 << CompactFixedPointShift)
 }
 
-// NewCompact returns a compact table presized for capacityHint keys.
+// NewCompact returns a compact table presized for capacityHint keys (same
+// exact-fit sizing as New; see presize).
 func NewCompact(capacityHint int) *CompactTable {
-	if capacityHint < 16 {
-		capacityHint = 16
-	}
-	need := uint64(capacityHint) * maxLoadDen / maxLoadNum
 	t := &CompactTable{}
-	t.init(uint64(1) << bits.Len64(need))
+	t.init(presize(capacityHint))
 	return t
 }
 
@@ -167,20 +178,39 @@ func (t *CompactTable) ForEach(fn func(u, v uint32, w float64)) {
 	})
 }
 
-// Drain returns all entries as parallel slices. Must not race with Add.
+// Drain returns all entries as parallel slices using the same two-pass
+// parallel count/scan/fill as Table.Drain. Must not race with Add.
 func (t *CompactTable) Drain() (us, vs []uint32, ws []float64) {
-	n := t.Len()
-	us = make([]uint32, 0, n)
-	vs = make([]uint32, 0, n)
-	ws = make([]float64, 0, n)
-	for i, k := range t.keys {
-		if k == emptyKey {
-			continue
-		}
-		u, v := UnpackKey(k)
-		us = append(us, u)
-		vs = append(vs, v)
-		ws = append(ws, FromCompactFixed(t.vals[i]))
+	bounds := par.Blocks(len(t.keys), drainGrain)
+	counts := make([]int64, len(bounds)-1)
+	if len(bounds) == 2 {
+		counts[0] = int64(t.Len())
+	} else {
+		par.ForBlocks(bounds, func(b, lo, hi int) {
+			var c int64
+			for i := lo; i < hi; i++ {
+				if t.keys[i] != emptyKey {
+					c++
+				}
+			}
+			counts[b] = c
+		})
 	}
+	total := par.ExclusiveScan(counts)
+	us = make([]uint32, total)
+	vs = make([]uint32, total)
+	ws = make([]float64, total)
+	par.ForBlocks(bounds, func(b, lo, hi int) {
+		w := counts[b]
+		for i := lo; i < hi; i++ {
+			k := t.keys[i]
+			if k == emptyKey {
+				continue
+			}
+			us[w], vs[w] = UnpackKey(k)
+			ws[w] = FromCompactFixed(t.vals[i])
+			w++
+		}
+	})
 	return us, vs, ws
 }

@@ -20,11 +20,13 @@
 package hashtable
 
 import (
+	"math"
 	"math/bits"
 	"sync"
 	"sync/atomic"
 
 	"lightne/internal/par"
+	"lightne/internal/radix"
 )
 
 const (
@@ -44,8 +46,31 @@ func Key(u, v uint32) uint64 { return uint64(u)<<32 | uint64(v) }
 // UnpackKey splits a packed key back into (u, v).
 func UnpackKey(k uint64) (u, v uint32) { return uint32(k >> 32), uint32(k) }
 
-// ToFixed converts a weight to fixed point, rounding to nearest.
-func ToFixed(w float64) uint64 { return uint64(w*fixedOne + 0.5) }
+// MaxWeight is the largest single weight ToFixed can represent: the 44.20
+// layout tops out just below 2^44. Larger weights saturate rather than wrap.
+const MaxWeight = float64(math.MaxUint64) / fixedOne
+
+// ToFixed converts a weight to fixed point, rounding to nearest. The valid
+// domain is [0, MaxWeight]: negative weights and NaN clamp to 0, and weights
+// at or above 2^44 saturate to the maximum representable value. Without the
+// clamps the float→uint64 conversion of an out-of-range value is
+// platform-dependent in Go (wrap on amd64, saturate-ish on arm64), which
+// would silently corrupt aggregates.
+//
+// Note the clamp bounds a single conversion only; the table's accumulation
+// (atomic add of fixed-point increments) can still wrap if per-edge totals
+// approach 2^44, which the sampler's O(max_degree/C) importance weights and
+// realistic sample counts stay far below.
+func ToFixed(w float64) uint64 {
+	if !(w > 0) { // negative, zero, or NaN
+		return 0
+	}
+	f := w*fixedOne + 0.5
+	if f >= 1<<64 {
+		return math.MaxUint64
+	}
+	return uint64(f)
+}
 
 // FromFixed converts a fixed-point weight back to float64.
 func FromFixed(f uint64) float64 { return float64(f) / fixedOne }
@@ -62,15 +87,27 @@ type Table struct {
 // New returns a table presized to hold capacityHint distinct keys without
 // growing. A hint <= 0 selects a small default.
 func New(capacityHint int) *Table {
-	if capacityHint < 16 {
-		capacityHint = 16
-	}
-	// Size so that capacityHint keys sit below the max load factor.
-	need := uint64(capacityHint) * maxLoadDen / maxLoadNum
-	cap64 := uint64(1) << bits.Len64(need)
 	t := &Table{}
-	t.init(cap64)
+	t.init(presize(capacityHint))
 	return t
+}
+
+// presize returns the smallest power-of-two capacity that admits
+// capacityHint distinct keys under the load-factor check in tryAdd: the k-th
+// insert requires (k-1)*maxLoadDen < cap*maxLoadNum. The earlier formula had
+// two off-by-one flavors — bits.Len64 doubled exact powers of two, and the
+// truncating *maxLoadDen/maxLoadNum division could undersize by one slot —
+// either of which made a "presized" table grow once anyway.
+func presize(capacityHint int) uint64 {
+	if capacityHint < 1 {
+		capacityHint = 1
+	}
+	need := uint64(capacityHint-1)*maxLoadDen/maxLoadNum + 1
+	c := uint64(1) << bits.Len64(need-1)
+	if c < 16 {
+		c = 16
+	}
+	return c
 }
 
 func (t *Table) init(capacity uint64) {
@@ -198,21 +235,116 @@ func (t *Table) ForEach(fn func(u, v uint32, w float64)) {
 	})
 }
 
-// Drain returns all entries as parallel slices (unordered) and keeps the
-// table intact. Must not run concurrently with Add.
-func (t *Table) Drain() (us, vs []uint32, ws []float64) {
-	n := t.Len()
-	us = make([]uint32, 0, n)
-	vs = make([]uint32, 0, n)
-	ws = make([]float64, 0, n)
-	for i, k := range t.keys {
-		if k == emptyKey {
-			continue
-		}
-		u, v := UnpackKey(k)
-		us = append(us, u)
-		vs = append(vs, v)
-		ws = append(ws, FromFixed(t.vals[i]))
+// drainGrain is the slot-array chunk size for the parallel drain passes.
+const drainGrain = 4096
+
+// occupancy counts occupied slots per block of the slot array and returns
+// the block boundaries plus per-block counts: the first pass of the
+// two-pass (count, scan, fill) drain. The same bounds must be reused for
+// the fill pass so block indices line up.
+func (t *Table) occupancy() (bounds []int, counts []int64) {
+	bounds = par.Blocks(len(t.keys), drainGrain)
+	counts = make([]int64, len(bounds)-1)
+	if len(bounds) == 2 {
+		// Single block: the maintained key count already is the occupancy,
+		// so skip the counting pass entirely.
+		counts[0] = int64(t.Len())
+		return bounds, counts
 	}
+	par.ForBlocks(bounds, func(b, lo, hi int) {
+		var c int64
+		for i := lo; i < hi; i++ {
+			if t.keys[i] != emptyKey {
+				c++
+			}
+		}
+		counts[b] = c
+	})
+	return bounds, counts
+}
+
+// Drain returns all entries as parallel slices (unordered by key, stable in
+// slot order) and keeps the table intact. Must not run concurrently with
+// Add. The drain is fully parallel: a per-block occupancy count, an
+// exclusive scan over block counts, and a parallel fill into exactly-sized
+// output slices — no append, no lock (paper §4.2: the sparsifier hand-off
+// is part of the parallel pipeline, not a sequential epilogue).
+func (t *Table) Drain() (us, vs []uint32, ws []float64) {
+	bounds, counts := t.occupancy()
+	total := par.ExclusiveScan(counts)
+	us = make([]uint32, total)
+	vs = make([]uint32, total)
+	ws = make([]float64, total)
+	t.fill(bounds, counts, us, vs, ws)
 	return us, vs, ws
+}
+
+// DrainInto writes every entry into the given slices starting at index 0
+// and returns the number written (== Len()). The slices must have length at
+// least Len(). It is the allocation-free form of Drain, used by sharded
+// aggregators to drain shards in parallel into disjoint regions of one
+// output. Must not run concurrently with Add.
+func (t *Table) DrainInto(us, vs []uint32, ws []float64) int {
+	bounds, counts := t.occupancy()
+	total := par.ExclusiveScan(counts)
+	t.fill(bounds, counts, us[:total], vs[:total], ws[:total])
+	return int(total)
+}
+
+// fill is the second drain pass: counts must hold the exclusive scan of the
+// per-block occupancy for the same bounds.
+func (t *Table) fill(bounds []int, counts []int64, us, vs []uint32, ws []float64) {
+	keys, vals := t.keys, t.vals
+	par.ForBlocks(bounds, func(b, lo, hi int) {
+		w := int(counts[b])
+		for i := lo; i < hi; i++ {
+			k := keys[i]
+			if k == emptyKey {
+				continue
+			}
+			us[w], vs[w] = UnpackKey(k)
+			ws[w] = FromFixed(vals[i])
+			w++
+		}
+	})
+}
+
+// DrainCSR returns the table's entries grouped by source vertex as CSR
+// arrays: rowPtr has numRows+1 entries, and cols/ws hold each row's
+// destination vertices (sorted ascending) and weights. Keys in the table
+// already being distinct, no merge is needed — the result plugs directly
+// into sparse.FromCSRParts, skipping the COO scatter + per-row comparison
+// sort entirely. Every source vertex stored in the table must be < numRows.
+// The table is left intact. Must not run concurrently with Add.
+func (t *Table) DrainCSR(numRows int) (rowPtr []int64, cols []uint32, ws []float64) {
+	bounds, counts := t.occupancy()
+	total := par.ExclusiveScan(counts)
+	keys := make([]uint64, total)
+	ws = make([]float64, total)
+	par.ForBlocks(bounds, func(b, lo, hi int) {
+		w := counts[b]
+		for i := lo; i < hi; i++ {
+			k := t.keys[i]
+			if k == emptyKey {
+				continue
+			}
+			keys[w] = k
+			ws[w] = FromFixed(t.vals[i])
+			w++
+		}
+	})
+	rowPtr = radix.GroupCSR(keys, ws, numRows)
+	cols = make([]uint32, total)
+	par.For(int(total), drainGrain, func(i int) {
+		cols[i] = uint32(keys[i])
+	})
+	return rowPtr, cols, ws
+}
+
+// ShardOf routes a packed key to one of 1<<bits shards using the high bits
+// of the table hash, so shard routing and in-shard probing (which uses the
+// low bits via the capacity mask) draw on disjoint parts of the same mix.
+// bits == 0 maps every key to shard 0.
+func ShardOf(key uint64, bits uint) int {
+	return int(hash(key) >> (64 - bits))
 }

@@ -28,6 +28,99 @@ func TestFixedPointRoundtrip(t *testing.T) {
 	}
 }
 
+func TestToFixedClampsDomain(t *testing.T) {
+	cases := []struct {
+		w    float64
+		want uint64
+	}{
+		{0, 0},
+		{-1, 0},
+		{-1e300, 0},
+		{math.Inf(-1), 0},
+		{math.NaN(), 0},
+		{1, fixedOne},
+		{MaxWeight, math.MaxUint64},
+		{MaxWeight * 2, math.MaxUint64},
+		{1 << 50, math.MaxUint64},
+		{math.Inf(1), math.MaxUint64},
+	}
+	for _, c := range cases {
+		if got := ToFixed(c.w); got != c.want {
+			t.Fatalf("ToFixed(%g)=%d want %d", c.w, got, c.want)
+		}
+	}
+	// Just below the saturation point the conversion must stay exact.
+	w := float64(uint64(1) << 43)
+	if got := ToFixed(w); got != uint64(1)<<63 {
+		t.Fatalf("ToFixed(2^43)=%d want %d", got, uint64(1)<<63)
+	}
+}
+
+func TestToCompactFixedClampsDomain(t *testing.T) {
+	cases := []struct {
+		w    float64
+		want uint32
+	}{
+		{0, 0},
+		{-3.5, 0},
+		{math.NaN(), 0},
+		{1, 1 << CompactFixedPointShift},
+		{MaxCompactWeight, math.MaxUint32},
+		{1e18, math.MaxUint32},
+		{math.Inf(1), math.MaxUint32},
+	}
+	for _, c := range cases {
+		if got := ToCompactFixed(c.w); got != c.want {
+			t.Fatalf("ToCompactFixed(%g)=%d want %d", c.w, got, c.want)
+		}
+	}
+}
+
+func TestPresizedTableNeverGrows(t *testing.T) {
+	// Sweep hints across power-of-two boundaries (where bits.Len64 used to
+	// double) and load-factor truncation edges (where the table used to come
+	// out one slot short and grow once anyway).
+	hints := []int{1, 7, 8, 14, 15, 16, 17, 56, 57, 63, 64, 100, 127, 128,
+		255, 256, 896, 897, 1 << 12, 1<<12 + 1, 1 << 16}
+	for _, k := range hints {
+		tab := New(k)
+		before := tab.Capacity()
+		for i := 0; i < k; i++ {
+			tab.Add(uint32(i), uint32(i>>2), 1)
+		}
+		if tab.Capacity() != before {
+			t.Fatalf("hint %d: table grew %d -> %d", k, before, tab.Capacity())
+		}
+		if tab.Len() != k {
+			t.Fatalf("hint %d: Len=%d", k, tab.Len())
+		}
+		ct := NewCompact(k)
+		cbefore := ct.Capacity()
+		for i := 0; i < k; i++ {
+			ct.Add(uint32(i), uint32(i>>2), 1)
+		}
+		if ct.Capacity() != cbefore {
+			t.Fatalf("hint %d: compact table grew %d -> %d", k, cbefore, ct.Capacity())
+		}
+	}
+}
+
+func TestPresizeTightAtExactPowers(t *testing.T) {
+	// A hint of 14 keys fits capacity 16 under the 7/8 load factor; the old
+	// bits.Len64 formula allocated 32.
+	if got := New(14).Capacity(); got != 16 {
+		t.Fatalf("New(14).Capacity()=%d want 16", got)
+	}
+	// 7·64 keys exactly fill capacity 512 at load 7/8.
+	if got := New(7 << 6).Capacity(); got != 512 {
+		t.Fatalf("New(7<<6).Capacity()=%d want 512", got)
+	}
+	// 7·2^10 keys exactly fill capacity 2^13 at load 7/8.
+	if got := New(7 << 10).Capacity(); got != 1<<13 {
+		t.Fatalf("New(7<<10).Capacity()=%d want %d", got, 1<<13)
+	}
+}
+
 func TestAddGet(t *testing.T) {
 	tab := New(8)
 	tab.Add(1, 2, 1.5)
@@ -187,6 +280,179 @@ func TestDrain(t *testing.T) {
 	sum := ws[0] + ws[1]
 	if math.Abs(sum-5) > 1e-5 {
 		t.Fatalf("weights %v", ws)
+	}
+}
+
+func TestDrainMatchesSequentialReference(t *testing.T) {
+	s := rng.New(41, 0)
+	tab := New(256)
+	for i := 0; i < 50000; i++ {
+		tab.Add(uint32(s.Intn(3000)), uint32(s.Intn(3000)), 0.5)
+	}
+	want := map[uint64]float64{}
+	for i, k := range tab.keys {
+		if k != emptyKey {
+			want[k] = FromFixed(tab.vals[i])
+		}
+	}
+	us, vs, ws := tab.Drain()
+	if len(us) != len(want) || len(vs) != len(want) || len(ws) != len(want) {
+		t.Fatalf("Drain lengths %d/%d/%d want %d", len(us), len(vs), len(ws), len(want))
+	}
+	for i := range us {
+		k := Key(us[i], vs[i])
+		w, ok := want[k]
+		if !ok {
+			t.Fatalf("Drain invented key (%d,%d)", us[i], vs[i])
+		}
+		if w != ws[i] {
+			t.Fatalf("key (%d,%d): drained %g want %g", us[i], vs[i], ws[i], w)
+		}
+		delete(want, k)
+	}
+}
+
+func TestDrainInto(t *testing.T) {
+	tab := New(64)
+	for i := 0; i < 100; i++ {
+		tab.Add(uint32(i), uint32(i+1), float64(i))
+	}
+	us := make([]uint32, tab.Len())
+	vs := make([]uint32, tab.Len())
+	ws := make([]float64, tab.Len())
+	if n := tab.DrainInto(us, vs, ws); n != tab.Len() {
+		t.Fatalf("DrainInto wrote %d want %d", n, tab.Len())
+	}
+	seen := map[uint64]float64{}
+	for i := range us {
+		seen[Key(us[i], vs[i])] = ws[i]
+	}
+	for i := 0; i < 100; i++ {
+		if w := seen[Key(uint32(i), uint32(i+1))]; math.Abs(w-float64(i)) > 1e-5 {
+			t.Fatalf("key %d: %g", i, w)
+		}
+	}
+}
+
+func TestDrainCSR(t *testing.T) {
+	tab := New(64)
+	type entry struct {
+		u, v uint32
+		w    float64
+	}
+	entries := []entry{
+		{0, 3, 1}, {0, 1, 2}, {2, 2, 3}, {2, 0, 4}, {2, 7, 5}, {5, 5, 6},
+	}
+	for _, e := range entries {
+		tab.Add(e.u, e.v, e.w)
+	}
+	const numRows = 7
+	rowPtr, cols, ws := tab.DrainCSR(numRows)
+	if len(rowPtr) != numRows+1 {
+		t.Fatalf("rowPtr len %d want %d", len(rowPtr), numRows+1)
+	}
+	if rowPtr[0] != 0 || rowPtr[numRows] != int64(len(entries)) {
+		t.Fatalf("rowPtr endpoints %d..%d", rowPtr[0], rowPtr[numRows])
+	}
+	want := map[uint32]map[uint32]float64{
+		0: {3: 1, 1: 2}, 2: {2: 3, 0: 4, 7: 5}, 5: {5: 6},
+	}
+	for r := 0; r < numRows; r++ {
+		lo, hi := rowPtr[r], rowPtr[r+1]
+		if int(hi-lo) != len(want[uint32(r)]) {
+			t.Fatalf("row %d has %d entries want %d", r, hi-lo, len(want[uint32(r)]))
+		}
+		for p := lo; p < hi; p++ {
+			if p > lo && cols[p] <= cols[p-1] {
+				t.Fatalf("row %d columns not strictly ascending: %v", r, cols[lo:hi])
+			}
+			if w := want[uint32(r)][cols[p]]; math.Abs(w-ws[p]) > 1e-5 {
+				t.Fatalf("entry (%d,%d): %g want %g", r, cols[p], ws[p], w)
+			}
+		}
+	}
+	// The table must survive the drain untouched.
+	if tab.Len() != len(entries) {
+		t.Fatalf("DrainCSR consumed the table: Len=%d", tab.Len())
+	}
+}
+
+func TestDrainCSRLarge(t *testing.T) {
+	s := rng.New(77, 0)
+	tab := New(1024)
+	oracle := map[uint64]float64{}
+	const n = 500
+	for i := 0; i < 40000; i++ {
+		u, v := uint32(s.Intn(n)), uint32(s.Intn(n))
+		tab.Add(u, v, 0.25)
+		oracle[Key(u, v)] += 0.25
+	}
+	rowPtr, cols, ws := tab.DrainCSR(n)
+	if rowPtr[n] != int64(len(oracle)) {
+		t.Fatalf("nnz %d want %d", rowPtr[n], len(oracle))
+	}
+	for r := 0; r < n; r++ {
+		for p := rowPtr[r]; p < rowPtr[r+1]; p++ {
+			want := oracle[Key(uint32(r), cols[p])]
+			if math.Abs(want-ws[p]) > 1e-3 {
+				t.Fatalf("(%d,%d): %g want %g", r, cols[p], ws[p], want)
+			}
+		}
+	}
+}
+
+// TestRaceStress interleaves AddFixed, growth from a tiny initial capacity,
+// and concurrent Gets under -race, then asserts the final aggregate is
+// exact in fixed point: every sample accounted for, none duplicated.
+func TestRaceStress(t *testing.T) {
+	tab := New(0) // tiny: forces repeated grows under contention
+	const workers = 8
+	const perWorker = 30000
+	const distinct = 20000
+	var writers, readers sync.WaitGroup
+	stop := make(chan struct{})
+	// Two reader goroutines hammer Get while writers insert and force grows.
+	readers.Add(2)
+	for r := 0; r < 2; r++ {
+		go func(id int) {
+			defer readers.Done()
+			s := rng.New(101, uint64(id))
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				k := uint32(s.Intn(distinct))
+				if w, ok := tab.Get(k, k^1); ok && w <= 0 {
+					t.Error("Get returned non-positive weight for present key")
+					return
+				}
+			}
+		}(r)
+	}
+	writers.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(id int) {
+			defer writers.Done()
+			s := rng.New(55, uint64(id))
+			for i := 0; i < perWorker; i++ {
+				k := uint32(s.Intn(distinct))
+				tab.AddFixed(Key(k, k^1), ToFixed(1))
+			}
+		}(w)
+	}
+	writers.Wait()
+	close(stop)
+	readers.Wait()
+	var total uint64
+	for i := range tab.keys {
+		if tab.keys[i] != emptyKey {
+			total += tab.vals[i]
+		}
+	}
+	if want := uint64(workers) * perWorker * fixedOne; total != want {
+		t.Fatalf("fixed-point total %d want %d (lost or duplicated samples)", total, want)
 	}
 }
 

@@ -125,8 +125,11 @@ func Run(g *graph.Graph, cfg Config) (*Result, error) {
 	if err != nil {
 		return nil, fmt.Errorf("netsmf: sampling: %w", err)
 	}
-	us, vsCols, ws := table.Drain()
-	mat, err := BuildMatrix(g, us, vsCols, ws, b, stats.Trials)
+	// Grouped parallel drain: the table hands the sparsifier over as CSR
+	// arrays directly (rows grouped by radix pass, columns sorted), so no
+	// COO scatter or per-row sort runs between sampling and factorization.
+	rowPtr, cols, ws := table.DrainCSR(g.NumVertices())
+	mat, err := BuildMatrixCSR(g, rowPtr, cols, ws, b, stats.Trials)
 	if err != nil {
 		return nil, err
 	}
@@ -162,11 +165,29 @@ func BuildMatrix(g *graph.Graph, us, vs []uint32, ws []float64, b float64, trial
 	if err != nil {
 		return nil, fmt.Errorf("netsmf: building sparsifier: %w", err)
 	}
+	return scaleTruncLog(g, mat, b, trials), nil
+}
+
+// BuildMatrixCSR is BuildMatrix for the grouped drain: it wraps the CSR
+// arrays from hashtable.DrainCSR without copying or re-sorting, then applies
+// the same unbiased scaling and truncated logarithm.
+func BuildMatrixCSR(g *graph.Graph, rowPtr []int64, cols []uint32, ws []float64, b float64, trials int64) (*sparse.CSR, error) {
+	n := g.NumVertices()
+	mat, err := sparse.FromCSRParts(n, n, rowPtr, cols, ws)
+	if err != nil {
+		return nil, fmt.Errorf("netsmf: building sparsifier: %w", err)
+	}
+	return scaleTruncLog(g, mat, b, trials), nil
+}
+
+// scaleTruncLog applies the unbiased estimator scaling (package comment) and
+// the truncated logarithm, shared by both sparsifier builders.
+func scaleTruncLog(g *graph.Graph, mat *sparse.CSR, b float64, trials int64) *sparse.CSR {
 	vol := g.Volume()
 	deg := g.Strengths() // weighted degrees; equals Degrees for unweighted graphs
 	scale := vol * vol / (2 * b * float64(trials))
 	mat.Apply(func(i int, j uint32, v float64) float64 {
 		return v * scale / (deg[i] * deg[j])
 	})
-	return mat.TruncLog(), nil
+	return mat.TruncLog()
 }

@@ -36,6 +36,78 @@ func For(n, grain int, body func(i int)) {
 	})
 }
 
+// Blocks splits [0, n) into contiguous blocks and returns the boundary
+// offsets: block b is [bounds[b], bounds[b+1]), bounds[0] == 0 and
+// bounds[len(bounds)-1] == n. Every block except possibly the last holds at
+// least grain iterations (DefaultGrain if grain <= 0), and the block count
+// targets ~4 blocks per worker for load balance.
+//
+// Blocks is the single source of truth for this package's chunk geometry:
+// two-pass algorithms (count / scan / fill, as in the hash-table drain) must
+// compute bounds once and reuse them for both passes so per-block indices
+// line up, rather than re-deriving the geometry.
+func Blocks(n, grain int) []int {
+	if n <= 0 {
+		return []int{0}
+	}
+	if grain <= 0 {
+		grain = DefaultGrain
+	}
+	p := Workers()
+	chunks := p * 4
+	if maxChunks := (n + grain - 1) / grain; chunks > maxChunks {
+		chunks = maxChunks
+	}
+	if p == 1 || chunks <= 1 {
+		return []int{0, n}
+	}
+	size := (n + chunks - 1) / chunks
+	nb := (n + size - 1) / size
+	bounds := make([]int, nb+1)
+	for b := 1; b < nb; b++ {
+		bounds[b] = b * size
+	}
+	bounds[nb] = n
+	return bounds
+}
+
+// ForBlocks runs body(b, lo, hi) in parallel for every block of a boundary
+// slice produced by Blocks. The dense block index b lets the body write into
+// per-block scratch (counts, partial sums) without re-deriving the geometry.
+func ForBlocks(bounds []int, body func(b, lo, hi int)) {
+	nb := len(bounds) - 1
+	if nb <= 0 {
+		return
+	}
+	p := Workers()
+	if p == 1 || nb == 1 {
+		for b := 0; b < nb; b++ {
+			body(b, bounds[b], bounds[b+1])
+		}
+		return
+	}
+	var next int64
+	var wg sync.WaitGroup
+	workers := p
+	if workers > nb {
+		workers = nb
+	}
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				b := int(atomic.AddInt64(&next, 1)) - 1
+				if b >= nb {
+					return
+				}
+				body(b, bounds[b], bounds[b+1])
+			}
+		}()
+	}
+	wg.Wait()
+}
+
 // ForRange runs body(lo, hi) over disjoint contiguous subranges covering
 // [0, n). It is the chunked form of For: use it when the body can amortize
 // per-chunk setup (e.g. a local RNG or buffer) across many iterations.
@@ -46,47 +118,16 @@ func ForRange(n, grain int, body func(lo, hi int)) {
 	if grain <= 0 {
 		grain = DefaultGrain
 	}
-	p := Workers()
-	if p == 1 || n <= grain {
+	if Workers() == 1 || n <= grain {
 		body(0, n)
 		return
 	}
-	// Shoot for ~4 chunks per worker so that uneven bodies load-balance,
-	// while respecting the grain floor.
-	chunks := p * 4
-	if maxChunks := (n + grain - 1) / grain; chunks > maxChunks {
-		chunks = maxChunks
-	}
-	if chunks <= 1 {
+	bounds := Blocks(n, grain)
+	if len(bounds) == 2 {
 		body(0, n)
 		return
 	}
-	var next int64
-	size := (n + chunks - 1) / chunks
-	var wg sync.WaitGroup
-	workers := p
-	if workers > chunks {
-		workers = chunks
-	}
-	wg.Add(workers)
-	for w := 0; w < workers; w++ {
-		go func() {
-			defer wg.Done()
-			for {
-				c := int(atomic.AddInt64(&next, 1)) - 1
-				lo := c * size
-				if lo >= n {
-					return
-				}
-				hi := lo + size
-				if hi > n {
-					hi = n
-				}
-				body(lo, hi)
-			}
-		}()
-	}
-	wg.Wait()
+	ForBlocks(bounds, func(_, lo, hi int) { body(lo, hi) })
 }
 
 // WorkerFor runs body(worker, lo, hi) like ForRange but additionally passes
@@ -166,9 +207,11 @@ func Do(fns ...func()) {
 }
 
 // ReduceFloat64 computes the sum of f(i) for i in [0, n) in parallel.
-// Summation order is deterministic for a fixed n, grain and worker count
-// within each chunk, but chunk combination order is fixed (by chunk index),
-// so results are reproducible run to run.
+// Summation order within a block is sequential and blocks are combined in
+// block order, so the result is deterministic for a fixed n, grain and
+// worker count. Per-block partials are indexed by the dense block index
+// ForBlocks supplies, so the reduction cannot drift out of sync with the
+// chunking policy.
 func ReduceFloat64(n, grain int, f func(i int) float64) float64 {
 	if n <= 0 {
 		return 0
@@ -176,26 +219,21 @@ func ReduceFloat64(n, grain int, f func(i int) float64) float64 {
 	if grain <= 0 {
 		grain = DefaultGrain
 	}
-	p := Workers()
-	if p == 1 || n <= grain {
+	if Workers() == 1 || n <= grain {
 		var s float64
 		for i := 0; i < n; i++ {
 			s += f(i)
 		}
 		return s
 	}
-	chunks := p * 4
-	if maxChunks := (n + grain - 1) / grain; chunks > maxChunks {
-		chunks = maxChunks
-	}
-	size := (n + chunks - 1) / chunks
-	partial := make([]float64, chunks)
-	ForRange(n, grain, func(lo, hi int) {
+	bounds := Blocks(n, grain)
+	partial := make([]float64, len(bounds)-1)
+	ForBlocks(bounds, func(b, lo, hi int) {
 		var s float64
 		for i := lo; i < hi; i++ {
 			s += f(i)
 		}
-		partial[lo/size] += s
+		partial[b] = s
 	})
 	var s float64
 	for _, v := range partial {

@@ -81,6 +81,69 @@ func TestReduceFloat64MatchesSequential(t *testing.T) {
 	}
 }
 
+func TestBlocksCoverDisjoint(t *testing.T) {
+	for _, n := range []int{0, 1, 5, 100, 2048, 2049, 123457} {
+		for _, grain := range []int{0, 1, 3, 100, 4096} {
+			bounds := Blocks(n, grain)
+			if bounds[0] != 0 || bounds[len(bounds)-1] != n {
+				t.Fatalf("n=%d grain=%d: bad endpoints %v", n, grain, bounds)
+			}
+			for b := 1; b < len(bounds); b++ {
+				if bounds[b] <= bounds[b-1] {
+					t.Fatalf("n=%d grain=%d: non-increasing bounds %v", n, grain, bounds)
+				}
+			}
+		}
+	}
+}
+
+func TestForBlocksVisitsEachBlockOnce(t *testing.T) {
+	old := runtime.GOMAXPROCS(8)
+	defer runtime.GOMAXPROCS(old)
+	n := 100003
+	bounds := Blocks(n, 64)
+	visits := make([]int32, len(bounds)-1)
+	covered := make([]int32, n)
+	ForBlocks(bounds, func(b, lo, hi int) {
+		atomic.AddInt32(&visits[b], 1)
+		if lo != bounds[b] || hi != bounds[b+1] {
+			t.Errorf("block %d got [%d,%d) want [%d,%d)", b, lo, hi, bounds[b], bounds[b+1])
+		}
+		for i := lo; i < hi; i++ {
+			atomic.AddInt32(&covered[i], 1)
+		}
+	})
+	for b, c := range visits {
+		if c != 1 {
+			t.Fatalf("block %d visited %d times", b, c)
+		}
+	}
+	for i, c := range covered {
+		if c != 1 {
+			t.Fatalf("index %d covered %d times", i, c)
+		}
+	}
+}
+
+// TestReduceFloat64ChunkGeometry is the regression test for the partial-sum
+// indexing bug: ReduceFloat64 used to re-derive ForRange's chunk geometry and
+// index partials by lo/size, silently corrupting sums whenever the two
+// disagreed. Sweeping odd n/grain combinations with integer-valued terms
+// makes any double count or dropped chunk an exact mismatch.
+func TestReduceFloat64ChunkGeometry(t *testing.T) {
+	old := runtime.GOMAXPROCS(8)
+	defer runtime.GOMAXPROCS(old)
+	for _, n := range []int{1, 2, 3, 7, 31, 33, 255, 257, 1023, 4097, 65537, 100003} {
+		for _, grain := range []int{1, 2, 3, 5, 7, 13, 100, 1001, 4096} {
+			want := float64(n) * float64(n-1) / 2
+			got := ReduceFloat64(n, grain, func(i int) float64 { return float64(i) })
+			if got != want {
+				t.Fatalf("n=%d grain=%d: got %g want %g", n, grain, got, want)
+			}
+		}
+	}
+}
+
 func TestReduceInt64(t *testing.T) {
 	n := 100000
 	got := ReduceInt64(n, 0, func(i int) int64 { return int64(i) })

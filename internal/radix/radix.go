@@ -14,6 +14,8 @@ package radix
 import (
 	"math/bits"
 	"sync"
+
+	"lightne/internal/par"
 )
 
 // chunkCount controls the histogram/scatter parallel grain.
@@ -135,6 +137,45 @@ func GroupSum(keys []uint64, vals []float64) int {
 		i = j
 	}
 	return out
+}
+
+// GroupCSR partitions (key, payload) pairs by the key's high 32 bits — the
+// source vertex of a packed edge — using the package's parallel LSD sort,
+// and returns the CSR row-pointer array over numRows rows. keys and vals are
+// sorted ascending in place, so within each row the low 32 bits (the
+// destination vertex) come out sorted as well: exactly the row-grouped,
+// column-sorted layout sparse.CSR expects, with no per-row comparison sort.
+//
+// Every key's high 32 bits must be < numRows; GroupCSR panics otherwise
+// (the keys are checked after the sort, where the maximum is the last key).
+func GroupCSR(keys []uint64, vals []float64, numRows int) []int64 {
+	SortPairs(keys, vals)
+	n := len(keys)
+	rowPtr := make([]int64, numRows+1)
+	if n == 0 {
+		return rowPtr
+	}
+	if last := int(keys[n-1] >> 32); last >= numRows {
+		panic("radix: GroupCSR key row out of range")
+	}
+	// Row r starts at the first index whose key's high bits are >= r. Each
+	// boundary between consecutive distinct rows is found independently, so
+	// the fill parallelizes over positions; total extra writes across all
+	// boundaries are O(numRows) for the empty-row runs.
+	par.For(n, 4096, func(i int) {
+		r := int(keys[i] >> 32)
+		prev := -1
+		if i > 0 {
+			prev = int(keys[i-1] >> 32)
+		}
+		for row := prev + 1; row <= r; row++ {
+			rowPtr[row] = int64(i)
+		}
+	})
+	for row := int(keys[n-1]>>32) + 1; row <= numRows; row++ {
+		rowPtr[row] = int64(n)
+	}
+	return rowPtr
 }
 
 // Sort sorts a bare key slice ascending with the same parallel LSD passes

@@ -167,3 +167,66 @@ func TestSortKeysMatchesStdlib(t *testing.T) {
 		}
 	}
 }
+
+func TestGroupCSR(t *testing.T) {
+	s := rng.New(63, 0)
+	const numRows = 300
+	for _, n := range []int{0, 1, 5, 1000, 40000} {
+		keys := make([]uint64, n)
+		vals := make([]float64, n)
+		perRow := make([]int64, numRows)
+		for i := range keys {
+			u := uint64(s.Intn(numRows))
+			v := uint64(s.Intn(1 << 20))
+			keys[i] = u<<32 | v
+			vals[i] = float64(i)
+			perRow[u]++
+		}
+		rowPtr := GroupCSR(keys, vals, numRows)
+		if len(rowPtr) != numRows+1 {
+			t.Fatalf("n=%d: rowPtr len %d", n, len(rowPtr))
+		}
+		if rowPtr[0] != 0 || rowPtr[numRows] != int64(n) {
+			t.Fatalf("n=%d: endpoints %d..%d", n, rowPtr[0], rowPtr[numRows])
+		}
+		for r := 0; r < numRows; r++ {
+			if rowPtr[r+1]-rowPtr[r] != perRow[r] {
+				t.Fatalf("n=%d row %d: %d entries want %d", n, r, rowPtr[r+1]-rowPtr[r], perRow[r])
+			}
+			for p := rowPtr[r]; p < rowPtr[r+1]; p++ {
+				if int(keys[p]>>32) != r {
+					t.Fatalf("n=%d: entry %d in wrong row group", n, p)
+				}
+				if p > rowPtr[r] && keys[p] < keys[p-1] {
+					t.Fatalf("n=%d row %d: keys not sorted", n, r)
+				}
+			}
+		}
+	}
+}
+
+func TestGroupCSREmptyEdgeRows(t *testing.T) {
+	// Leading, trailing, and interior empty rows must all get correct
+	// (empty) ranges from the parallel boundary fill.
+	keys := []uint64{5<<32 | 1, 5<<32 | 9, 9<<32 | 0}
+	vals := []float64{1, 2, 3}
+	rowPtr := GroupCSR(keys, vals, 12)
+	want := []int64{0, 0, 0, 0, 0, 0, 2, 2, 2, 2, 3, 3, 3}
+	if len(rowPtr) != len(want) {
+		t.Fatalf("rowPtr len %d want %d", len(rowPtr), len(want))
+	}
+	for i := range want {
+		if rowPtr[i] != want[i] {
+			t.Fatalf("rowPtr[%d]=%d want %d (%v)", i, rowPtr[i], want[i], rowPtr)
+		}
+	}
+}
+
+func TestGroupCSRPanicsOnRowOverflow(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for out-of-range row")
+		}
+	}()
+	GroupCSR([]uint64{7 << 32}, []float64{1}, 7)
+}

@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync/atomic"
 
 	"lightne/internal/dense"
 	"lightne/internal/hashtable"
@@ -116,10 +117,47 @@ func (s *rowSorter) Swap(i, j int) {
 	s.vals[i], s.vals[j] = s.vals[j], s.vals[i]
 }
 
-// FromTable builds an n×n CSR matrix from the sampler's hash table.
+// FromCSRParts wraps pre-built CSR arrays without copying. The arrays must
+// already be in CSR form: rowPtr non-decreasing with rowPtr[0] == 0 and
+// rowPtr[rows] == len(colIdx) == len(val), and each row's columns strictly
+// ascending (grouped, sorted, duplicates merged) — exactly what
+// hashtable.DrainCSR produces. All invariants are validated (in parallel),
+// so a malformed hand-off fails loudly instead of corrupting the SVD input.
+func FromCSRParts(rows, cols int, rowPtr []int64, colIdx []uint32, val []float64) (*CSR, error) {
+	if len(rowPtr) != rows+1 {
+		return nil, fmt.Errorf("sparse: rowPtr has %d entries, want %d", len(rowPtr), rows+1)
+	}
+	if len(colIdx) != len(val) {
+		return nil, fmt.Errorf("sparse: colIdx/val lengths differ (%d, %d)", len(colIdx), len(val))
+	}
+	if rowPtr[0] != 0 || rowPtr[rows] != int64(len(colIdx)) {
+		return nil, fmt.Errorf("sparse: rowPtr endpoints %d..%d, want 0..%d", rowPtr[0], rowPtr[rows], len(colIdx))
+	}
+	var bad int32
+	par.For(rows, 256, func(r int) {
+		lo, hi := rowPtr[r], rowPtr[r+1]
+		if lo > hi || hi > int64(len(colIdx)) {
+			atomic.StoreInt32(&bad, 1)
+			return
+		}
+		for p := lo; p < hi; p++ {
+			if int(colIdx[p]) >= cols || (p > lo && colIdx[p] <= colIdx[p-1]) {
+				atomic.StoreInt32(&bad, 1)
+				return
+			}
+		}
+	})
+	if bad != 0 {
+		return nil, fmt.Errorf("sparse: CSR parts violate row/column invariants")
+	}
+	return &CSR{NumRows: rows, NumCols: cols, RowPtr: rowPtr, ColIdx: colIdx, Val: val}, nil
+}
+
+// FromTable builds an n×n CSR matrix from the sampler's hash table via the
+// parallel grouped drain — no COO scatter, no per-row comparison sort.
 func FromTable(n int, t *hashtable.Table) (*CSR, error) {
-	us, vs, ws := t.Drain()
-	return FromCOO(n, n, us, vs, ws)
+	rowPtr, cols, ws := t.DrainCSR(n)
+	return FromCSRParts(n, n, rowPtr, cols, ws)
 }
 
 // At returns entry (i, j), zero if absent. O(log degree) binary search;
