@@ -18,11 +18,13 @@ test:
 	$(GO) test ./...
 
 # The packages with real concurrency: the lock-free serving store under
-# query-during-hot-swap load, the incremental embedder feeding it, and the
+# query-during-hot-swap load, the incremental embedder feeding it, the
 # lock-free aggregation path (hash table + sharded aggregators + par
-# primitives) under Add/grow/Get interleaving.
+# primitives) under Add/grow/Get interleaving, and the sampler's end-to-end
+# sampler → sharded table → grouped drain stress test (undersized tables
+# force concurrent grows).
 race:
-	$(GO) test -race ./internal/serve ./internal/dynamic ./internal/hashtable ./internal/aggregate ./internal/par
+	$(GO) test -race ./internal/serve ./internal/dynamic ./internal/hashtable ./internal/aggregate ./internal/par ./internal/sampler
 
 # One verification entry point: build + tests + static checks + race.
 check: tier1 vet race
@@ -34,10 +36,11 @@ bench:
 	$(GO) test -bench=. -benchmem ./...
 
 # Drain-path benchmarks (benchstat-friendly: -count=5 gives enough runs to
-# compare BenchmarkDrain vs BenchmarkDrainSequential and the aggregation
-# strategies; pipe two runs into `benchstat old.txt new.txt`).
+# compare BenchmarkDrain vs BenchmarkDrainSequential, the aggregation
+# strategies, full vs partition-only radix grouping, and the radix vs
+# sort-merge COO build; pipe two runs into `benchstat old.txt new.txt`).
 bench-drain:
-	$(GO) test -run xxx -bench 'BenchmarkDrain|BenchmarkAggregate' -benchmem -count=5 ./internal/hashtable ./internal/aggregate
+	$(GO) test -run xxx -bench 'BenchmarkDrain|BenchmarkAggregate|BenchmarkGroupCSR|BenchmarkFromCOO' -benchmem -count=5 ./internal/hashtable ./internal/aggregate ./internal/radix ./internal/sparse
 
 # Quick serving throughput/latency check (closed-loop load generator).
 serve-bench:

@@ -40,6 +40,7 @@ func main() {
 		propOrder  = flag.Int("prop-order", 10, "spectral propagation polynomial order k")
 		oversample = flag.Int("oversample", 0, "extra randomized-SVD sketch columns")
 		powerIters = flag.Int("power-iters", 0, "randomized-SVD subspace iterations")
+		shards     = flag.Int("shards", 1, "split the sample-aggregation table across this many shards (rounded up to a power of two; output is bit-identical for any value)")
 	)
 	flag.Parse()
 	if *input == "" {
@@ -87,6 +88,7 @@ func main() {
 	cfg.Propagation.Order = *propOrder
 	cfg.Oversample = *oversample
 	cfg.PowerIters = *powerIters
+	cfg.Shards = *shards
 
 	if *budgetMB > 0 {
 		m, err := lightne.MaxAffordableSamples(g, cfg, *budgetMB<<20)

@@ -191,8 +191,31 @@ func NewShardedTable(capacityHint, shards int) *SharedTable {
 
 // Add accumulates concurrently via CAS + xadd; the worker id is unused.
 func (s *SharedTable) Add(_ int, u, v uint32, w float64) {
+	s.AddFixed(hashtable.Key(u, v), hashtable.ToFixed(w))
+}
+
+// AddFixed accumulates a fixed-point weight onto a packed key, routing it to
+// its shard — the sampler-facing hot path, signature-identical to
+// hashtable.Table.AddFixed so a sharded aggregator drops into the sampling
+// loop unchanged.
+func (s *SharedTable) AddFixed(key, fixed uint64) {
+	s.shards[hashtable.ShardOf(key, s.shardBits)].AddFixed(key, fixed)
+}
+
+// Get returns the accumulated weight for (u, v) and whether it is present.
+// Safe for concurrent use with Add.
+func (s *SharedTable) Get(u, v uint32) (float64, bool) {
 	key := hashtable.Key(u, v)
-	s.shards[hashtable.ShardOf(key, s.shardBits)].AddFixed(key, hashtable.ToFixed(w))
+	return s.shards[hashtable.ShardOf(key, s.shardBits)].Get(u, v)
+}
+
+// Len returns the number of distinct keys across all shards.
+func (s *SharedTable) Len() int {
+	n := 0
+	for _, t := range s.shards {
+		n += t.Len()
+	}
+	return n
 }
 
 // Drain merges all shards with one exactly-sized allocation: per-shard
@@ -221,6 +244,50 @@ func (s *SharedTable) Drain() (us, vs []uint32, ws []float64) {
 	}
 	par.Do(fns...)
 	return us, vs, ws
+}
+
+// drainKeys merges every shard's (packed key, weight) pairs into one pair
+// of exactly-sized arrays: per-shard lengths, an exclusive scan for shard
+// offsets, then all shards drain in parallel into disjoint regions.
+func (s *SharedTable) drainKeys() (keys []uint64, ws []float64) {
+	if len(s.shards) == 1 {
+		return s.shards[0].DrainKeys()
+	}
+	offsets := make([]int64, len(s.shards))
+	for i, t := range s.shards {
+		offsets[i] = int64(t.Len())
+	}
+	total := par.ExclusiveScan(offsets)
+	keys = make([]uint64, total)
+	ws = make([]float64, total)
+	fns := make([]func(), len(s.shards))
+	for i := range s.shards {
+		i := i
+		fns[i] = func() {
+			lo := offsets[i]
+			s.shards[i].DrainKeysInto(keys[lo:], ws[lo:])
+		}
+	}
+	par.Do(fns...)
+	return keys, ws
+}
+
+// DrainCSR merges all shards and groups the entries by source vertex into
+// CSR arrays with the fully-sorted radix grouping — bit-identical to what an
+// unsharded table holding the same aggregate would produce, because the full
+// key sort erases shard routing and slot order. Must not run concurrently
+// with Add.
+func (s *SharedTable) DrainCSR(numRows int) (rowPtr []int64, cols []uint32, ws []float64) {
+	keys, ws := s.drainKeys()
+	return hashtable.GroupKeysCSR(keys, ws, numRows)
+}
+
+// DrainCSRPartial is DrainCSR with partition-only grouping: columns within a
+// row stay in shard-drain order. Safe for SpMM-only consumers; see
+// radix.GroupCSRPartial.
+func (s *SharedTable) DrainCSRPartial(numRows int) (rowPtr []int64, cols []uint32, ws []float64) {
+	keys, ws := s.drainKeys()
+	return hashtable.GroupKeysCSRPartial(keys, ws, numRows)
 }
 
 // MemoryBytes returns the aggregate footprint across shards.

@@ -2,6 +2,7 @@ package aggregate
 
 import (
 	"math"
+	"sort"
 	"testing"
 
 	"lightne/internal/hashtable"
@@ -150,5 +151,113 @@ func TestStreamDeterministic(t *testing.T) {
 func TestParExposed(t *testing.T) {
 	if Par() < 1 {
 		t.Fatal("worker count must be positive")
+	}
+}
+
+// TestShardedDrainCSRBitIdentical: the sharded DrainCSR must be
+// bit-identical to the unsharded one on the same sample stream — the full
+// key sort erases shard routing and slot order, and fixed-point
+// accumulation is exact, so (rowPtr, cols, ws) must match to the bit across
+// shard counts.
+func TestShardedDrainCSRBitIdentical(t *testing.T) {
+	const workers, perWorker, distinct = 4, 30000, 900
+	const numRows = 1 << 10 // keys from the workload stay below this
+	var refPtr []int64
+	var refCols []uint32
+	var refWs []float64
+	for _, shards := range []int{1, 2, 4, 16} {
+		agg := NewShardedTable(distinct, shards)
+		RunWorkload(agg, workers, perWorker, distinct, 99)
+		rowPtr, cols, ws := agg.DrainCSR(numRows)
+		if refPtr == nil {
+			refPtr, refCols, refWs = rowPtr, cols, ws
+			continue
+		}
+		if len(rowPtr) != len(refPtr) || len(cols) != len(refCols) {
+			t.Fatalf("shards=%d: shape mismatch", shards)
+		}
+		for i := range refPtr {
+			if rowPtr[i] != refPtr[i] {
+				t.Fatalf("shards=%d: rowPtr[%d]=%d want %d", shards, i, rowPtr[i], refPtr[i])
+			}
+		}
+		for i := range refCols {
+			if cols[i] != refCols[i] || ws[i] != refWs[i] {
+				t.Fatalf("shards=%d: entry %d (%d,%g) want (%d,%g)",
+					shards, i, cols[i], ws[i], refCols[i], refWs[i])
+			}
+		}
+	}
+}
+
+// TestSharedTableAddFixedMatchesAdd: the packed fast path must agree with
+// the float-facing Add.
+func TestSharedTableAddFixedMatchesAdd(t *testing.T) {
+	a := NewShardedTable(100, 4)
+	b := NewShardedTable(100, 4)
+	for i := 0; i < 1000; i++ {
+		u, v := uint32(i%37), uint32(i%53)
+		a.Add(0, u, v, 1.5)
+		b.AddFixed(hashtable.Key(u, v), hashtable.ToFixed(1.5))
+	}
+	if a.Len() != b.Len() {
+		t.Fatalf("Len %d vs %d", a.Len(), b.Len())
+	}
+	am := drainMap(a.Drain())
+	bm := drainMap(b.Drain())
+	for k, w := range am {
+		if bm[k] != w {
+			t.Fatalf("key %x: %g vs %g", k, w, bm[k])
+		}
+	}
+}
+
+// TestSharedTableGetRoutesShards: Get must see what AddFixed wrote,
+// whichever shard the key routed to.
+func TestSharedTableGetRoutesShards(t *testing.T) {
+	s := NewShardedTable(64, 8)
+	for i := uint32(0); i < 500; i++ {
+		s.AddFixed(hashtable.Key(i, i+1), hashtable.ToFixed(2))
+	}
+	for i := uint32(0); i < 500; i++ {
+		w, ok := s.Get(i, i+1)
+		if !ok || math.Abs(w-2) > 1e-9 {
+			t.Fatalf("Get(%d,%d) = %g,%v want 2,true", i, i+1, w, ok)
+		}
+	}
+	if _, ok := s.Get(9999, 9999); ok {
+		t.Fatal("absent key reported present")
+	}
+}
+
+// TestShardedDrainCSRPartialMultiset: partial drain over shards agrees with
+// the sorted drain on row pointers and per-row multisets.
+func TestShardedDrainCSRPartialMultiset(t *testing.T) {
+	const numRows = 1 << 10
+	agg := NewShardedTable(500, 8)
+	RunWorkload(agg, 4, 20000, 800, 7)
+	fullPtr, fullCols, fullWs := agg.DrainCSR(numRows)
+	partPtr, partCols, partWs := agg.DrainCSRPartial(numRows)
+	for i := range fullPtr {
+		if fullPtr[i] != partPtr[i] {
+			t.Fatalf("rowPtr[%d] mismatch", i)
+		}
+	}
+	type cw struct {
+		c uint32
+		w float64
+	}
+	for r := 0; r < numRows; r++ {
+		lo, hi := fullPtr[r], fullPtr[r+1]
+		got := make([]cw, 0, hi-lo)
+		for p := lo; p < hi; p++ {
+			got = append(got, cw{partCols[p], partWs[p]})
+		}
+		sort.Slice(got, func(i, j int) bool { return got[i].c < got[j].c })
+		for i, p := 0, lo; p < hi; i, p = i+1, p+1 {
+			if got[i].c != fullCols[p] || got[i].w != fullWs[p] {
+				t.Fatalf("row %d entry %d mismatch", r, i)
+			}
+		}
 	}
 }

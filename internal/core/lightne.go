@@ -50,6 +50,12 @@ type Config struct {
 	// BatchedWalks selects the radix-batched walk schedule (paper §4.2
 	// future work); unweighted graphs only.
 	BatchedWalks bool
+	// Shards splits the sample-aggregation table across a power of two of
+	// sub-tables routed by high hash bits; <= 1 keeps the single shared
+	// table. The sparsifier (and hence the embedding) is bit-identical for
+	// every setting — sharding only confines grow-lock stalls when the
+	// capacity hint is wrong.
+	Shards int
 }
 
 // DefaultConfig returns the paper's default configuration at dimension d:
@@ -128,6 +134,7 @@ func Embed(g *graph.Graph, cfg Config) (*Result, error) {
 		Oversample:   cfg.Oversample,
 		PowerIters:   cfg.PowerIters,
 		BatchedWalks: cfg.BatchedWalks,
+		Shards:       cfg.Shards,
 	})
 	if err != nil {
 		return nil, err

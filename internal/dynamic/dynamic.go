@@ -37,7 +37,7 @@ type Embedder struct {
 	cfg     core.Config
 	g       *graph.Graph
 	arcs    []graph.Edge // canonical arc list (u < v), current graph
-	table   *hashtable.Table
+	table   sampler.Sink
 	perArc  float64 // expected trials per directed arc, fixed at New
 	trials  int64   // total realized trials in the table
 	batches int
@@ -113,9 +113,10 @@ func (e *Embedder) downsampleC() float64 {
 	return c
 }
 
-// resample rebuilds the sparsifier table from scratch on the current graph.
+// resample rebuilds the sparsifier table from scratch on the current graph,
+// honouring the config's shard count.
 func (e *Embedder) resample() error {
-	e.table = hashtable.New(int(2*e.perArc*float64(len(e.arcs))) + 1024)
+	e.table = sampler.NewSink(int(2*e.perArc*float64(len(e.arcs)))+1024, e.cfg.Shards)
 	stats, err := sampler.SampleArcsInto(e.g, e.table, e.arcs, 2*e.perArc, e.cfg.T, e.downsampleC(), e.seed+uint64(e.batches)*1000)
 	if err != nil {
 		return err
@@ -208,12 +209,16 @@ func (e *Embedder) Refresh() error {
 // Embed factorizes the accumulated sparsifier and (unless the config skips
 // it) applies spectral propagation, returning the current embedding.
 func (e *Embedder) Embed() (*dense.Matrix, error) {
-	rowPtr, cols, ws := e.table.DrainCSR(e.g.NumVertices())
+	// Partition-only drain: the matrix goes straight into SpMM (randomized
+	// SVD + propagation), which never binary-searches within a row, so the
+	// within-row column sort is skipped entirely. The table stays intact for
+	// the next batch.
+	rowPtr, cols, ws := e.table.DrainCSRPartial(e.g.NumVertices())
 	b := e.cfg.NegSamples
 	if b <= 0 {
 		b = 1
 	}
-	mat, err := netsmf.BuildMatrixCSR(e.g, rowPtr, cols, ws, b, e.trials)
+	mat, err := netsmf.BuildMatrixCSRGrouped(e.g, rowPtr, cols, ws, b, e.trials)
 	if err != nil {
 		return nil, err
 	}

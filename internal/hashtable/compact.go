@@ -178,24 +178,31 @@ func (t *CompactTable) ForEach(fn func(u, v uint32, w float64)) {
 	})
 }
 
+// occupancy counts occupied slots per block of the slot array, mirroring
+// Table.occupancy: the shared first pass of the two-pass drains.
+func (t *CompactTable) occupancy() (bounds []int, counts []int64) {
+	bounds = par.Blocks(len(t.keys), drainGrain)
+	counts = make([]int64, len(bounds)-1)
+	if len(bounds) == 2 {
+		counts[0] = int64(t.Len())
+		return bounds, counts
+	}
+	par.ForBlocks(bounds, func(b, lo, hi int) {
+		var c int64
+		for i := lo; i < hi; i++ {
+			if t.keys[i] != emptyKey {
+				c++
+			}
+		}
+		counts[b] = c
+	})
+	return bounds, counts
+}
+
 // Drain returns all entries as parallel slices using the same two-pass
 // parallel count/scan/fill as Table.Drain. Must not race with Add.
 func (t *CompactTable) Drain() (us, vs []uint32, ws []float64) {
-	bounds := par.Blocks(len(t.keys), drainGrain)
-	counts := make([]int64, len(bounds)-1)
-	if len(bounds) == 2 {
-		counts[0] = int64(t.Len())
-	} else {
-		par.ForBlocks(bounds, func(b, lo, hi int) {
-			var c int64
-			for i := lo; i < hi; i++ {
-				if t.keys[i] != emptyKey {
-					c++
-				}
-			}
-			counts[b] = c
-		})
-	}
+	bounds, counts := t.occupancy()
 	total := par.ExclusiveScan(counts)
 	us = make([]uint32, total)
 	vs = make([]uint32, total)
@@ -213,4 +220,42 @@ func (t *CompactTable) Drain() (us, vs []uint32, ws []float64) {
 		}
 	})
 	return us, vs, ws
+}
+
+// DrainKeys returns all entries as (packed key, weight) pairs in slot order,
+// keeping the table intact. Must not race with Add.
+func (t *CompactTable) DrainKeys() (keys []uint64, ws []float64) {
+	bounds, counts := t.occupancy()
+	total := par.ExclusiveScan(counts)
+	keys = make([]uint64, total)
+	ws = make([]float64, total)
+	par.ForBlocks(bounds, func(b, lo, hi int) {
+		w := counts[b]
+		for i := lo; i < hi; i++ {
+			k := t.keys[i]
+			if k == emptyKey {
+				continue
+			}
+			keys[w] = k
+			ws[w] = FromCompactFixed(t.vals[i])
+			w++
+		}
+	})
+	return keys, ws
+}
+
+// DrainCSR returns the table's entries grouped by source vertex as CSR
+// arrays, exactly like Table.DrainCSR (rows radix-grouped, columns sorted,
+// layout a pure function of the stored entries). It lets the compact table
+// feed the sparsifier hand-off directly. Must not race with Add.
+func (t *CompactTable) DrainCSR(numRows int) (rowPtr []int64, cols []uint32, ws []float64) {
+	keys, ws := t.DrainKeys()
+	return GroupKeysCSR(keys, ws, numRows)
+}
+
+// DrainCSRPartial is DrainCSR with partition-only row grouping (columns stay
+// in slot order); safe for SpMM-only consumers. Must not race with Add.
+func (t *CompactTable) DrainCSRPartial(numRows int) (rowPtr []int64, cols []uint32, ws []float64) {
+	keys, ws := t.DrainKeys()
+	return GroupKeysCSRPartial(keys, ws, numRows)
 }

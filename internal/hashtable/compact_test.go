@@ -2,6 +2,7 @@ package hashtable
 
 import (
 	"math"
+	"sort"
 	"sync"
 	"testing"
 
@@ -112,5 +113,77 @@ func TestCompactForEach(t *testing.T) {
 	})
 	if len(seen) != 2 || math.Abs(seen[Key(1, 2)]-3) > 1e-3 {
 		t.Fatalf("ForEach saw %v", seen)
+	}
+}
+
+// TestCompactDrainCSRMatchesTable: CompactTable.DrainCSR must produce the
+// same CSR layout as the full table fed identical samples (weights compared
+// at compact resolution).
+func TestCompactDrainCSRMatchesTable(t *testing.T) {
+	s := rng.New(29, 0)
+	full := New(512)
+	compact := NewCompact(512)
+	const n = 300
+	for i := 0; i < 30000; i++ {
+		u, v := uint32(s.Intn(n)), uint32(s.Intn(n))
+		full.Add(u, v, 0.25)
+		compact.Add(u, v, 0.25)
+	}
+	fullPtr, fullCols, fullWs := full.DrainCSR(n)
+	cPtr, cCols, cWs := compact.DrainCSR(n)
+	if len(fullPtr) != len(cPtr) {
+		t.Fatal("rowPtr length mismatch")
+	}
+	for r := range fullPtr {
+		if fullPtr[r] != cPtr[r] {
+			t.Fatalf("rowPtr[%d]=%d want %d", r, cPtr[r], fullPtr[r])
+		}
+	}
+	for p := range fullCols {
+		if fullCols[p] != cCols[p] {
+			t.Fatalf("col[%d]=%d want %d", p, cCols[p], fullCols[p])
+		}
+		// 0.25 is exactly representable in both 44.20 and 22.10 fixed point.
+		if fullWs[p] != cWs[p] {
+			t.Fatalf("weight[%d]=%g want %g", p, cWs[p], fullWs[p])
+		}
+	}
+	if compact.Len() != len(cCols) {
+		t.Fatal("DrainCSR consumed the compact table")
+	}
+}
+
+// TestCompactDrainCSRPartial: partial drain agrees with full drain on row
+// grouping and per-row multisets.
+func TestCompactDrainCSRPartial(t *testing.T) {
+	s := rng.New(31, 0)
+	compact := NewCompact(256)
+	const n = 120
+	for i := 0; i < 20000; i++ {
+		compact.Add(uint32(s.Intn(n)), uint32(s.Intn(n)), 0.5)
+	}
+	fullPtr, fullCols, fullWs := compact.DrainCSR(n)
+	partPtr, partCols, partWs := compact.DrainCSRPartial(n)
+	for r := range fullPtr {
+		if fullPtr[r] != partPtr[r] {
+			t.Fatalf("rowPtr[%d] mismatch", r)
+		}
+	}
+	type cw struct {
+		c uint32
+		w float64
+	}
+	for r := 0; r < n; r++ {
+		lo, hi := fullPtr[r], fullPtr[r+1]
+		got := make([]cw, 0, hi-lo)
+		for p := lo; p < hi; p++ {
+			got = append(got, cw{partCols[p], partWs[p]})
+		}
+		sort.Slice(got, func(i, j int) bool { return got[i].c < got[j].c })
+		for i, p := 0, lo; p < hi; i, p = i+1, p+1 {
+			if got[i].c != fullCols[p] || got[i].w != fullWs[p] {
+				t.Fatalf("row %d entry %d mismatch", r, i)
+			}
+		}
 	}
 }

@@ -309,18 +309,34 @@ func (t *Table) fill(bounds []int, counts []int64, us, vs []uint32, ws []float64
 	})
 }
 
-// DrainCSR returns the table's entries grouped by source vertex as CSR
-// arrays: rowPtr has numRows+1 entries, and cols/ws hold each row's
-// destination vertices (sorted ascending) and weights. Keys in the table
-// already being distinct, no merge is needed — the result plugs directly
-// into sparse.FromCSRParts, skipping the COO scatter + per-row comparison
-// sort entirely. Every source vertex stored in the table must be < numRows.
-// The table is left intact. Must not run concurrently with Add.
-func (t *Table) DrainCSR(numRows int) (rowPtr []int64, cols []uint32, ws []float64) {
+// DrainKeys returns all entries as (packed key, weight) pairs in slot order,
+// keeping the table intact — the raw form of Drain used by the CSR builders
+// and by sharded aggregators that group across shards. Must not run
+// concurrently with Add.
+func (t *Table) DrainKeys() (keys []uint64, ws []float64) {
 	bounds, counts := t.occupancy()
 	total := par.ExclusiveScan(counts)
-	keys := make([]uint64, total)
+	keys = make([]uint64, total)
 	ws = make([]float64, total)
+	t.fillKeys(bounds, counts, keys, ws)
+	return keys, ws
+}
+
+// DrainKeysInto writes every entry as (packed key, weight) into the given
+// slices starting at index 0 and returns the number written (== Len()). The
+// slices must have length at least Len(). It is the allocation-free form of
+// DrainKeys, used to drain shards in parallel into disjoint regions of one
+// output. Must not run concurrently with Add.
+func (t *Table) DrainKeysInto(keys []uint64, ws []float64) int {
+	bounds, counts := t.occupancy()
+	total := par.ExclusiveScan(counts)
+	t.fillKeys(bounds, counts, keys[:total], ws[:total])
+	return int(total)
+}
+
+// fillKeys is the packed-key fill pass: counts must hold the exclusive scan
+// of the per-block occupancy for the same bounds.
+func (t *Table) fillKeys(bounds []int, counts []int64, keys []uint64, ws []float64) {
 	par.ForBlocks(bounds, func(b, lo, hi int) {
 		w := counts[b]
 		for i := lo; i < hi; i++ {
@@ -333,12 +349,54 @@ func (t *Table) DrainCSR(numRows int) (rowPtr []int64, cols []uint32, ws []float
 			w++
 		}
 	})
+}
+
+// DrainCSR returns the table's entries grouped by source vertex as CSR
+// arrays: rowPtr has numRows+1 entries, and cols/ws hold each row's
+// destination vertices (sorted ascending) and weights. Keys in the table
+// already being distinct, no merge is needed — the result plugs directly
+// into sparse.FromCSRParts, skipping the COO scatter + per-row comparison
+// sort entirely. The full-key sort makes the layout a pure function of the
+// stored entries, independent of slot order, so repeated runs with the same
+// samples produce bit-identical CSR arrays. Every source vertex stored in
+// the table must be < numRows. The table is left intact. Must not run
+// concurrently with Add.
+func (t *Table) DrainCSR(numRows int) (rowPtr []int64, cols []uint32, ws []float64) {
+	keys, ws := t.DrainKeys()
+	return GroupKeysCSR(keys, ws, numRows)
+}
+
+// DrainCSRPartial is DrainCSR with partition-only grouping: rows are grouped
+// but columns within a row stay in slot order (unsorted, and therefore not
+// reproducible across runs). Safe when the consumer only streams rows —
+// SpMM — and never binary-searches them; see radix.GroupCSRPartial.
+func (t *Table) DrainCSRPartial(numRows int) (rowPtr []int64, cols []uint32, ws []float64) {
+	keys, ws := t.DrainKeys()
+	return GroupKeysCSRPartial(keys, ws, numRows)
+}
+
+// GroupKeysCSR turns drained (packed key, weight) pairs into CSR arrays with
+// the fully-sorted radix grouping. The key slice is consumed (sorted in
+// place and reused for the column extraction).
+func GroupKeysCSR(keys []uint64, ws []float64, numRows int) (rowPtr []int64, cols []uint32, outWs []float64) {
 	rowPtr = radix.GroupCSR(keys, ws, numRows)
-	cols = make([]uint32, total)
-	par.For(int(total), drainGrain, func(i int) {
+	return rowPtr, colsFromKeys(keys), ws
+}
+
+// GroupKeysCSRPartial is GroupKeysCSR with partition-only grouping (columns
+// within a row keep input order).
+func GroupKeysCSRPartial(keys []uint64, ws []float64, numRows int) (rowPtr []int64, cols []uint32, outWs []float64) {
+	rowPtr = radix.GroupCSRPartial(keys, ws, numRows)
+	return rowPtr, colsFromKeys(keys), ws
+}
+
+// colsFromKeys extracts the low 32 bits (destination vertex) of each key.
+func colsFromKeys(keys []uint64) []uint32 {
+	cols := make([]uint32, len(keys))
+	par.For(len(keys), drainGrain, func(i int) {
 		cols[i] = uint32(keys[i])
 	})
-	return rowPtr, cols, ws
+	return cols
 }
 
 // ShardOf routes a packed key to one of 1<<bits shards using the high bits

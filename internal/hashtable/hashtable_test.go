@@ -2,6 +2,7 @@ package hashtable
 
 import (
 	"math"
+	"sort"
 	"sync"
 	"testing"
 	"testing/quick"
@@ -460,5 +461,73 @@ func TestMemoryBytes(t *testing.T) {
 	tab := New(1000)
 	if tab.MemoryBytes() != int64(tab.Capacity())*16 {
 		t.Fatalf("MemoryBytes=%d capacity=%d", tab.MemoryBytes(), tab.Capacity())
+	}
+}
+
+// TestDrainCSRPartialMatchesDrainCSR: the partial drain must agree with the
+// fully-sorted drain on row pointers and per-row (col, weight) multisets;
+// only within-row order may differ. Differential lockdown for the
+// partition-only fast path.
+func TestDrainCSRPartialMatchesDrainCSR(t *testing.T) {
+	s := rng.New(21, 0)
+	tab := New(1024)
+	const n = 700
+	for i := 0; i < 60000; i++ {
+		tab.Add(uint32(s.Intn(n)), uint32(s.Intn(n)), 0.5)
+	}
+	fullPtr, fullCols, fullWs := tab.DrainCSR(n)
+	partPtr, partCols, partWs := tab.DrainCSRPartial(n)
+	if len(fullPtr) != len(partPtr) {
+		t.Fatal("rowPtr length mismatch")
+	}
+	for r := range fullPtr {
+		if fullPtr[r] != partPtr[r] {
+			t.Fatalf("rowPtr[%d]=%d want %d", r, partPtr[r], fullPtr[r])
+		}
+	}
+	type cw struct {
+		c uint32
+		w float64
+	}
+	for r := 0; r < n; r++ {
+		lo, hi := fullPtr[r], fullPtr[r+1]
+		a := make([]cw, 0, hi-lo)
+		b := make([]cw, 0, hi-lo)
+		for p := lo; p < hi; p++ {
+			a = append(a, cw{fullCols[p], fullWs[p]})
+			b = append(b, cw{partCols[p], partWs[p]})
+		}
+		sort.Slice(b, func(i, j int) bool { return b[i].c < b[j].c })
+		// Table keys are distinct, so the sorted partial row must equal the
+		// fully-sorted row exactly (weights are exact fixed-point sums).
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("row %d mismatch at %d: %v vs %v", r, i, a[i], b[i])
+			}
+		}
+	}
+}
+
+// TestDrainKeysInto checks the allocation-free packed drain against Drain.
+func TestDrainKeysInto(t *testing.T) {
+	s := rng.New(23, 0)
+	tab := New(256)
+	for i := 0; i < 5000; i++ {
+		tab.Add(uint32(s.Intn(100)), uint32(s.Intn(100)), 1)
+	}
+	keys := make([]uint64, tab.Len())
+	ws := make([]float64, tab.Len())
+	if got := tab.DrainKeysInto(keys, ws); got != tab.Len() {
+		t.Fatalf("DrainKeysInto wrote %d want %d", got, tab.Len())
+	}
+	oracle := map[uint64]float64{}
+	us, vs, dws := tab.Drain()
+	for i := range us {
+		oracle[Key(us[i], vs[i])] = dws[i]
+	}
+	for i, k := range keys {
+		if w, ok := oracle[k]; !ok || w != ws[i] {
+			t.Fatalf("key %x weight %g not in Drain oracle (%g, %v)", k, ws[i], w, ok)
+		}
 	}
 }

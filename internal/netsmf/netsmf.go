@@ -31,7 +31,6 @@ import (
 
 	"lightne/internal/dense"
 	"lightne/internal/graph"
-	"lightne/internal/hashtable"
 	"lightne/internal/sampler"
 	"lightne/internal/sparse"
 	"lightne/internal/svd"
@@ -61,6 +60,10 @@ type Config struct {
 	// locality optimization the paper names as future work (§4.2).
 	// Unweighted graphs only.
 	BatchedWalks bool
+	// Shards splits the sample-aggregation table across a power of two of
+	// sub-tables (see sampler.Config.Shards); <= 1 keeps one shared table.
+	// The sparsifier is bit-identical for every setting.
+	Shards int
 }
 
 // MFromMultiple returns M = mult·T·m for a graph with m undirected edges
@@ -96,6 +99,47 @@ type Result struct {
 	Timing Timing
 }
 
+// Sparsifier runs the sampling pass and the grouped parallel drain, returning
+// the raw (unscaled) sparsifier as a CSR matrix: the table hands its entries
+// over directly (rows grouped by radix pass, columns sorted), so no COO
+// scatter or per-row sort runs between sampling and factorization.
+//
+// Because per-vertex RNG streams fix the sample multiset, fixed-point
+// accumulation is exact and commutative, and the fully-sorted drain is a pure
+// function of that multiset, the returned matrix is bit-identical for every
+// Shards setting and worker count (locked down by the determinism test). The
+// scaled matrix Run factorizes is NOT bit-stable across worker counts — the
+// vol(G) reduction is a parallel float sum — which is why this accessor stops
+// before scaling.
+func Sparsifier(g *graph.Graph, cfg Config) (*sparse.CSR, sampler.Stats, error) {
+	scfg := sampler.Config{
+		T:          cfg.T,
+		M:          cfg.M,
+		Downsample: cfg.Downsample,
+		C:          cfg.C,
+		Seed:       cfg.Seed,
+		Shards:     cfg.Shards,
+	}
+	var table sampler.Sink
+	var stats sampler.Stats
+	var err error
+	if cfg.BatchedWalks {
+		table, stats, err = sampler.SampleBatched(g, scfg, 0)
+	} else {
+		table, stats, err = sampler.Sample(g, scfg)
+	}
+	if err != nil {
+		return nil, stats, fmt.Errorf("netsmf: sampling: %w", err)
+	}
+	n := g.NumVertices()
+	rowPtr, cols, ws := table.DrainCSR(n)
+	mat, err := sparse.FromCSRParts(n, n, rowPtr, cols, ws)
+	if err != nil {
+		return nil, stats, fmt.Errorf("netsmf: building sparsifier: %w", err)
+	}
+	return mat, stats, nil
+}
+
 // Run executes the NetSMF stage on g.
 func Run(g *graph.Graph, cfg Config) (*Result, error) {
 	if cfg.Dim <= 0 {
@@ -107,32 +151,11 @@ func Run(g *graph.Graph, cfg Config) (*Result, error) {
 	}
 
 	start := time.Now()
-	scfg := sampler.Config{
-		T:          cfg.T,
-		M:          cfg.M,
-		Downsample: cfg.Downsample,
-		C:          cfg.C,
-		Seed:       cfg.Seed,
-	}
-	var table *hashtable.Table
-	var stats sampler.Stats
-	var err error
-	if cfg.BatchedWalks {
-		table, stats, err = sampler.SampleBatched(g, scfg, 0)
-	} else {
-		table, stats, err = sampler.Sample(g, scfg)
-	}
-	if err != nil {
-		return nil, fmt.Errorf("netsmf: sampling: %w", err)
-	}
-	// Grouped parallel drain: the table hands the sparsifier over as CSR
-	// arrays directly (rows grouped by radix pass, columns sorted), so no
-	// COO scatter or per-row sort runs between sampling and factorization.
-	rowPtr, cols, ws := table.DrainCSR(g.NumVertices())
-	mat, err := BuildMatrixCSR(g, rowPtr, cols, ws, b, stats.Trials)
+	raw, stats, err := Sparsifier(g, cfg)
 	if err != nil {
 		return nil, err
 	}
+	mat := scaleTruncLog(g, raw, b, stats.Trials)
 	sparsifierTime := time.Since(start)
 
 	start = time.Now()
@@ -174,6 +197,20 @@ func BuildMatrix(g *graph.Graph, us, vs []uint32, ws []float64, b float64, trial
 func BuildMatrixCSR(g *graph.Graph, rowPtr []int64, cols []uint32, ws []float64, b float64, trials int64) (*sparse.CSR, error) {
 	n := g.NumVertices()
 	mat, err := sparse.FromCSRParts(n, n, rowPtr, cols, ws)
+	if err != nil {
+		return nil, fmt.Errorf("netsmf: building sparsifier: %w", err)
+	}
+	return scaleTruncLog(g, mat, b, trials), nil
+}
+
+// BuildMatrixCSRGrouped is BuildMatrixCSR for partition-only drains
+// (DrainCSRPartial): rows must be grouped but columns within a row may be in
+// any order, and the resulting matrix is flagged unsorted. Only SpMM-style
+// consumers (the randomized SVD) may use it — CSR.At falls back to a linear
+// scan and the layout is not reproducible across runs.
+func BuildMatrixCSRGrouped(g *graph.Graph, rowPtr []int64, cols []uint32, ws []float64, b float64, trials int64) (*sparse.CSR, error) {
+	n := g.NumVertices()
+	mat, err := sparse.FromCSRPartsGrouped(n, n, rowPtr, cols, ws)
 	if err != nil {
 		return nil, fmt.Errorf("netsmf: building sparsifier: %w", err)
 	}

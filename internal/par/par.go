@@ -282,11 +282,62 @@ func MaxInt64(n, grain int, identity int64, f func(i int) int64) int64 {
 	return best
 }
 
+// scanGrain is the minimum per-block length for the parallel scan. Prefix
+// sums are memory-bound, so blocks are kept larger than DefaultGrain to make
+// the two passes worth their scheduling overhead.
+const scanGrain = 4 * DefaultGrain
+
 // ExclusiveScan replaces counts with its exclusive prefix sum and returns the
-// total. counts[i] on return is the sum of the original counts[0:i]. The scan
-// is sequential: it is O(n) and in practice never the bottleneck next to the
-// work that produced the counts.
+// total. counts[i] on return is the sum of the original counts[0:i].
+//
+// Large inputs scan in parallel with the standard two-pass scheme on the
+// package's block geometry: per-block sums (ForBlocks), a sequential scan of
+// the block sums, then per-block local scans seeded with the block offsets.
+// Integer addition is associative, so the result is bit-identical to the
+// sequential scan for every input, geometry and worker count — proven by the
+// differential tests in par_test.go.
 func ExclusiveScan(counts []int64) int64 {
+	return exclusiveScan(counts, scanGrain)
+}
+
+// exclusiveScan is ExclusiveScan with an explicit grain, split out so tests
+// can drive odd geometries (n < grain, n < workers, single block).
+func exclusiveScan(counts []int64, grain int) int64 {
+	n := len(counts)
+	if grain <= 0 {
+		grain = scanGrain
+	}
+	if Workers() == 1 || n <= grain {
+		return exclusiveScanSeq(counts)
+	}
+	bounds := Blocks(n, grain)
+	nb := len(bounds) - 1
+	if nb <= 1 {
+		return exclusiveScanSeq(counts)
+	}
+	sums := make([]int64, nb)
+	ForBlocks(bounds, func(b, lo, hi int) {
+		var s int64
+		for i := lo; i < hi; i++ {
+			s += counts[i]
+		}
+		sums[b] = s
+	})
+	total := exclusiveScanSeq(sums) // sums now holds per-block offsets
+	ForBlocks(bounds, func(b, lo, hi int) {
+		run := sums[b]
+		for i := lo; i < hi; i++ {
+			c := counts[i]
+			counts[i] = run
+			run += c
+		}
+	})
+	return total
+}
+
+// exclusiveScanSeq is the sequential scan, used directly for small inputs and
+// for the block-sum pass of the parallel scan.
+func exclusiveScanSeq(counts []int64) int64 {
 	var total int64
 	for i, c := range counts {
 		counts[i] = total

@@ -211,6 +211,57 @@ func TestExclusiveScanProperty(t *testing.T) {
 	}
 }
 
+// TestExclusiveScanDifferential proves the parallel scan bit-identical to
+// the sequential scan over randomized lengths and grains, including the
+// degenerate geometries (n = 0, n = 1, n below the grain, n below the worker
+// count, and n that forces many blocks).
+func TestExclusiveScanDifferential(t *testing.T) {
+	old := runtime.GOMAXPROCS(8)
+	defer runtime.GOMAXPROCS(old)
+
+	s := uint64(0x9e3779b97f4a7c15)
+	next := func() uint64 {
+		s ^= s << 13
+		s ^= s >> 7
+		s ^= s << 17
+		return s
+	}
+	lengths := []int{0, 1, 2, 3, 7, 8, 100, 1000, 65537, 200000}
+	for i := 0; i < 40; i++ {
+		lengths = append(lengths, int(next()%300000))
+	}
+	grains := []int{1, 2, 7, 64, 1000, 200000, scanGrain, 0 /* default */}
+	for _, n := range lengths {
+		orig := make([]int64, n)
+		for i := range orig {
+			// Mix of zeros, small and large values, including negatives
+			// (the scan is defined for any int64 summands).
+			v := int64(next() % 1000)
+			if v > 900 {
+				v = -v
+			}
+			if v < 100 {
+				v = 0
+			}
+			orig[i] = v
+		}
+		want := append([]int64(nil), orig...)
+		wantTotal := exclusiveScanSeq(want)
+		for _, grain := range grains {
+			got := append([]int64(nil), orig...)
+			gotTotal := exclusiveScan(got, grain)
+			if gotTotal != wantTotal {
+				t.Fatalf("n=%d grain=%d: total %d want %d", n, grain, gotTotal, wantTotal)
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("n=%d grain=%d: scan[%d]=%d want %d", n, grain, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
 // TestParallelPathsUnderRaisedGOMAXPROCS forces the multi-worker code paths
 // even on single-CPU machines (GOMAXPROCS may exceed the core count).
 func TestParallelPathsUnderRaisedGOMAXPROCS(t *testing.T) {

@@ -5,51 +5,66 @@
 // (§4.2). It backs the list-histogram aggregation strategy and is exposed
 // for any (key, weight) grouping workload.
 //
-// The sort is stable, runs ceil(usedBits/8) counting passes, and
-// parallelizes both the histogram and the scatter of each pass over
+// The sort is stable, runs one counting pass per byte that can be nonzero,
+// and parallelizes both the histogram and the scatter of each pass over
 // contiguous chunks (per-chunk digit counts give each chunk a disjoint
 // write region, so the scatter is race-free and stability is preserved).
+// Chunk geometry comes from par.Blocks, the package-wide single source of
+// truth, so the pass parallelism scales with the worker count instead of
+// capping at a fixed chunk count.
 package radix
 
 import (
 	"math/bits"
-	"sync"
 
 	"lightne/internal/par"
 )
 
-// chunkCount controls the histogram/scatter parallel grain.
-const chunkCount = 32
+// passGrain is the minimum chunk length of a counting pass. Each chunk pays
+// a 2 KB digit-count array per pass, so chunks are kept a few thousand
+// elements wide; par.Blocks then targets ~4 chunks per worker above that
+// floor.
+const passGrain = 4096
 
-// SortPairs sorts keys ascending, permuting vals alongside. len(vals) must
-// equal len(keys). The slices are sorted in place (an internal buffer of
-// equal size is allocated).
-func SortPairs(keys []uint64, vals []float64) {
-	if len(keys) != len(vals) {
-		panic("radix: keys and vals must have equal length")
-	}
-	n := len(keys)
-	if n < 2 {
-		return
-	}
-	// Only sort the digits that can be nonzero.
+// usedBytes returns how many low-order bytes of the keys can be nonzero.
+func usedBytes(keys []uint64) int {
 	var maxKey uint64
 	for _, k := range keys {
 		if k > maxKey {
 			maxKey = k
 		}
 	}
-	passes := (bits.Len64(maxKey) + 7) / 8
-	if passes == 0 {
+	return (bits.Len64(maxKey) + 7) / 8
+}
+
+// SortPairs sorts keys ascending, permuting vals alongside. len(vals) must
+// equal len(keys). The slices are sorted in place (an internal buffer of
+// equal size is allocated). The sort is stable: equal keys keep their input
+// order.
+func SortPairs(keys []uint64, vals []float64) {
+	if len(keys) != len(vals) {
+		panic("radix: keys and vals must have equal length")
+	}
+	sortPairsBytes(keys, vals, 0, usedBytes(keys))
+}
+
+// sortPairsBytes runs stable counting passes over key bytes [loByte, hiByte)
+// from least to most significant. Passing loByte > 0 yields a partial sort:
+// the keys end up ordered by their high bytes only, with equal high bytes
+// keeping input order — exactly the "partition, don't sort" step semisort
+// needs when within-group order is irrelevant.
+func sortPairsBytes(keys []uint64, vals []float64, loByte, hiByte int) {
+	n := len(keys)
+	if n < 2 || hiByte <= loByte {
 		return
 	}
+	bounds := par.Blocks(n, passGrain)
 	bufK := make([]uint64, n)
 	bufV := make([]float64, n)
 	srcK, srcV := keys, vals
 	dstK, dstV := bufK, bufV
-	for pass := 0; pass < passes; pass++ {
-		shift := uint(8 * pass)
-		countingPass(srcK, srcV, dstK, dstV, shift)
+	for b := loByte; b < hiByte; b++ {
+		countingPass(srcK, srcV, dstK, dstV, uint(8*b), bounds)
 		srcK, dstK = dstK, srcK
 		srcV, dstV = dstV, srcV
 	}
@@ -59,63 +74,48 @@ func SortPairs(keys []uint64, vals []float64) {
 	}
 }
 
-// countingPass performs one stable 8-bit counting pass from src to dst.
-func countingPass(srcK []uint64, srcV []float64, dstK []uint64, dstV []float64, shift uint) {
-	n := len(srcK)
-	chunks := chunkCount
-	if chunks > n {
-		chunks = 1
-	}
-	size := (n + chunks - 1) / chunks
+// countingPass performs one stable 8-bit counting pass from src to dst over
+// the chunk geometry in bounds (shared by every pass of a sort so per-chunk
+// indices line up).
+func countingPass(srcK []uint64, srcV []float64, dstK []uint64, dstV []float64, shift uint, bounds []int) {
+	chunks := len(bounds) - 1
 	// counts[c][d]: occurrences of digit d in chunk c.
 	counts := make([][256]int64, chunks)
-	var wg sync.WaitGroup
-	wg.Add(chunks)
-	for c := 0; c < chunks; c++ {
-		go func(c int) {
-			defer wg.Done()
-			lo, hi := c*size, (c+1)*size
-			if hi > n {
-				hi = n
-			}
-			for i := lo; i < hi; i++ {
-				counts[c][(srcK[i]>>shift)&0xff]++
-			}
-		}(c)
-	}
-	wg.Wait()
-	// Global stable offsets: digit-major, chunk-minor.
+	par.ForBlocks(bounds, func(c, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			counts[c][(srcK[i]>>shift)&0xff]++
+		}
+	})
+	offsets := passOffsets(counts)
+	par.ForBlocks(bounds, func(c, lo, hi int) {
+		var next [256]int64
+		for d := 0; d < 256; d++ {
+			next[d] = offsets[d*chunks+c]
+		}
+		for i := lo; i < hi; i++ {
+			d := (srcK[i] >> shift) & 0xff
+			p := next[d]
+			next[d]++
+			dstK[p] = srcK[i]
+			dstV[p] = srcV[i]
+		}
+	})
+}
+
+// passOffsets turns per-chunk digit counts into global stable write offsets,
+// digit-major and chunk-minor: offsets[d*chunks+c] is where chunk c starts
+// writing digit d.
+func passOffsets(counts [][256]int64) []int64 {
+	chunks := len(counts)
+	offsets := make([]int64, 256*chunks)
 	var total int64
-	var offsets [256][]int64
 	for d := 0; d < 256; d++ {
-		offsets[d] = make([]int64, chunks)
 		for c := 0; c < chunks; c++ {
-			offsets[d][c] = total
+			offsets[d*chunks+c] = total
 			total += counts[c][d]
 		}
 	}
-	wg.Add(chunks)
-	for c := 0; c < chunks; c++ {
-		go func(c int) {
-			defer wg.Done()
-			var next [256]int64
-			for d := 0; d < 256; d++ {
-				next[d] = offsets[d][c]
-			}
-			lo, hi := c*size, (c+1)*size
-			if hi > n {
-				hi = n
-			}
-			for i := lo; i < hi; i++ {
-				d := (srcK[i] >> shift) & 0xff
-				p := next[d]
-				next[d]++
-				dstK[p] = srcK[i]
-				dstV[p] = srcV[i]
-			}
-		}(c)
-	}
-	wg.Wait()
+	return offsets
 }
 
 // GroupSum sorts the pairs and sums payloads of equal keys in place,
@@ -145,23 +145,48 @@ func GroupSum(keys []uint64, vals []float64) int {
 // sorted ascending in place, so within each row the low 32 bits (the
 // destination vertex) come out sorted as well: exactly the row-grouped,
 // column-sorted layout sparse.CSR expects, with no per-row comparison sort.
+// Because the full key is sorted, the output layout is a pure function of
+// the input multiset — the deterministic variant to use when reproducible
+// artifacts matter or a consumer binary-searches rows (sparse.CSR.At).
 //
 // Every key's high 32 bits must be < numRows; GroupCSR panics otherwise
 // (the keys are checked after the sort, where the maximum is the last key).
 func GroupCSR(keys []uint64, vals []float64, numRows int) []int64 {
 	SortPairs(keys, vals)
+	return rowPtrFromGrouped(keys, numRows)
+}
+
+// GroupCSRPartial is the partition-only variant of GroupCSR: it runs
+// counting passes over the high 4 key bytes only, stopping as soon as rows
+// are grouped. Within a row, entries keep their input order (the passes are
+// stable) and columns are NOT sorted — roughly half the sort cost when the
+// consumer only streams rows (SpMM) and never binary-searches them.
+// Correspondingly, the within-row layout depends on the input order, not
+// just the input multiset; use GroupCSR where bit-reproducible output is
+// required.
+func GroupCSRPartial(keys []uint64, vals []float64, numRows int) []int64 {
+	if len(keys) != len(vals) {
+		panic("radix: keys and vals must have equal length")
+	}
+	sortPairsBytes(keys, vals, 4, usedBytes(keys))
+	return rowPtrFromGrouped(keys, numRows)
+}
+
+// rowPtrFromGrouped builds the CSR row-pointer array over keys already
+// grouped by their high 32 bits in ascending order. Row r starts at the
+// first index whose key's high bits are >= r. Each boundary between
+// consecutive distinct rows is found independently, so the fill parallelizes
+// over positions; total extra writes across all boundaries are O(numRows)
+// for the empty-row runs.
+func rowPtrFromGrouped(keys []uint64, numRows int) []int64 {
 	n := len(keys)
 	rowPtr := make([]int64, numRows+1)
 	if n == 0 {
 		return rowPtr
 	}
 	if last := int(keys[n-1] >> 32); last >= numRows {
-		panic("radix: GroupCSR key row out of range")
+		panic("radix: group key row out of range")
 	}
-	// Row r starts at the first index whose key's high bits are >= r. Each
-	// boundary between consecutive distinct rows is found independently, so
-	// the fill parallelizes over positions; total extra writes across all
-	// boundaries are O(numRows) for the empty-row runs.
 	par.For(n, 4096, func(i int) {
 		r := int(keys[i] >> 32)
 		prev := -1
@@ -186,20 +211,15 @@ func Sort(keys []uint64) {
 	if n < 2 {
 		return
 	}
-	var maxKey uint64
-	for _, k := range keys {
-		if k > maxKey {
-			maxKey = k
-		}
-	}
-	passes := (bits.Len64(maxKey) + 7) / 8
+	passes := usedBytes(keys)
 	if passes == 0 {
 		return
 	}
+	bounds := par.Blocks(n, passGrain)
 	buf := make([]uint64, n)
 	src, dst := keys, buf
-	for pass := 0; pass < passes; pass++ {
-		countingPassKeys(src, dst, uint(8*pass))
+	for b := 0; b < passes; b++ {
+		countingPassKeys(src, dst, uint(8*b), bounds)
 		src, dst = dst, src
 	}
 	if &src[0] != &keys[0] {
@@ -208,56 +228,24 @@ func Sort(keys []uint64) {
 }
 
 // countingPassKeys is countingPass without a payload.
-func countingPassKeys(src, dst []uint64, shift uint) {
-	n := len(src)
-	chunks := chunkCount
-	if chunks > n {
-		chunks = 1
-	}
-	size := (n + chunks - 1) / chunks
+func countingPassKeys(src, dst []uint64, shift uint, bounds []int) {
+	chunks := len(bounds) - 1
 	counts := make([][256]int64, chunks)
-	var wg sync.WaitGroup
-	wg.Add(chunks)
-	for c := 0; c < chunks; c++ {
-		go func(c int) {
-			defer wg.Done()
-			lo, hi := c*size, (c+1)*size
-			if hi > n {
-				hi = n
-			}
-			for i := lo; i < hi; i++ {
-				counts[c][(src[i]>>shift)&0xff]++
-			}
-		}(c)
-	}
-	wg.Wait()
-	var total int64
-	var offsets [256][]int64
-	for d := 0; d < 256; d++ {
-		offsets[d] = make([]int64, chunks)
-		for c := 0; c < chunks; c++ {
-			offsets[d][c] = total
-			total += counts[c][d]
+	par.ForBlocks(bounds, func(c, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			counts[c][(src[i]>>shift)&0xff]++
 		}
-	}
-	wg.Add(chunks)
-	for c := 0; c < chunks; c++ {
-		go func(c int) {
-			defer wg.Done()
-			var next [256]int64
-			for d := 0; d < 256; d++ {
-				next[d] = offsets[d][c]
-			}
-			lo, hi := c*size, (c+1)*size
-			if hi > n {
-				hi = n
-			}
-			for i := lo; i < hi; i++ {
-				d := (src[i] >> shift) & 0xff
-				dst[next[d]] = src[i]
-				next[d]++
-			}
-		}(c)
-	}
-	wg.Wait()
+	})
+	offsets := passOffsets(counts)
+	par.ForBlocks(bounds, func(c, lo, hi int) {
+		var next [256]int64
+		for d := 0; d < 256; d++ {
+			next[d] = offsets[d*chunks+c]
+		}
+		for i := lo; i < hi; i++ {
+			d := (src[i] >> shift) & 0xff
+			dst[next[d]] = src[i]
+			next[d]++
+		}
+	})
 }

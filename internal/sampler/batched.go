@@ -58,7 +58,7 @@ type waveHead struct {
 // walks. Unweighted graphs only (the walk batching assumes uniform
 // neighbor draws). waveSize caps concurrently in-flight heads; <= 0 picks
 // a default.
-func SampleBatched(g *graph.Graph, cfg Config, waveSize int) (*hashtable.Table, Stats, error) {
+func SampleBatched(g *graph.Graph, cfg Config, waveSize int) (Sink, Stats, error) {
 	if cfg.T <= 0 || cfg.T > 512 {
 		return nil, Stats{}, fmt.Errorf("sampler: batched walking requires 1 <= T <= 512, got %d", cfg.T)
 	}
@@ -80,7 +80,7 @@ func SampleBatched(g *graph.Graph, cfg Config, waveSize int) (*hashtable.Table, 
 	if hint <= 0 {
 		hint = int(2*cfg.M) + 1024
 	}
-	table := hashtable.New(hint)
+	table := NewSink(hint, cfg.Shards)
 
 	// Enumerate heads arc by arc (same trial distribution as Sample),
 	// flushing a wave whenever it fills.

@@ -96,7 +96,7 @@ func (s *SearchArcSampler) MemoryBytes() int64 { return 0 }
 // same distribution as Sample (which the tests verify), at the cost the
 // paper describes. Weighted graphs are rejected: uniform-arc sampling is
 // only equivalent for unit weights.
-func SampleUniform(g *graph.Graph, cfg Config, arcs ArcSampler) (*hashtable.Table, Stats, error) {
+func SampleUniform(g *graph.Graph, cfg Config, arcs ArcSampler) (Sink, Stats, error) {
 	if cfg.T <= 0 {
 		return nil, Stats{}, fmt.Errorf("sampler: T must be positive, got %d", cfg.T)
 	}
@@ -114,7 +114,7 @@ func SampleUniform(g *graph.Graph, cfg Config, arcs ArcSampler) (*hashtable.Tabl
 	if hint <= 0 {
 		hint = int(2*cfg.M) + 1024
 	}
-	table := hashtable.New(hint)
+	table := NewSink(hint, cfg.Shards)
 	var trials, heads int64
 	par.ForRange(int(cfg.M), 1<<12, func(lo, hi int) {
 		var src rng.Source

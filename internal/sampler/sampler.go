@@ -56,6 +56,11 @@ type Config struct {
 	Seed uint64
 	// TableSizeHint presizes the hash table; <= 0 derives an estimate.
 	TableSizeHint int
+	// Shards splits the aggregation table across a power of two of
+	// sub-tables routed by high hash bits (see aggregate.NewShardedTable);
+	// <= 1 keeps the single shared table. The drained CSR is bit-identical
+	// either way.
+	Shards int
 }
 
 // Stats reports what a sampling pass actually did.
@@ -93,10 +98,10 @@ func ProbW(c, w, su, sv float64) float64 {
 }
 
 // Sample runs the downsampled per-edge PathSampling pass over g and returns
-// the aggregation table plus statistics. The table maps ordered pairs
+// the aggregation sink plus statistics. The sink maps ordered pairs
 // (u', v') to accumulated importance weights; every sample is inserted in
 // both orientations so the aggregate is exactly symmetric.
-func Sample(g *graph.Graph, cfg Config) (*hashtable.Table, Stats, error) {
+func Sample(g *graph.Graph, cfg Config) (Sink, Stats, error) {
 	n := g.NumVertices()
 	arcs := g.NumEdges()
 	if cfg.T <= 0 {
@@ -134,7 +139,7 @@ func Sample(g *graph.Graph, cfg Config) (*hashtable.Table, Stats, error) {
 		}
 		hint = int(2*headsEst) + 1024
 	}
-	table := hashtable.New(hint)
+	table := NewSink(hint, cfg.Shards)
 
 	var trials, heads int64
 	par.ForRange(n, 32, func(lo, hi int) {
@@ -198,7 +203,7 @@ func Sample(g *graph.Graph, cfg Config) (*hashtable.Table, Stats, error) {
 // c is the downsampling constant; pass 0 to disable downsampling, or a
 // positive value (typically log n) to enable it. The seed should differ
 // per batch.
-func SampleArcsInto(g *graph.Graph, table *hashtable.Table, arcs []graph.Edge, perArc float64, t int, c float64, seed uint64) (Stats, error) {
+func SampleArcsInto(g *graph.Graph, table Sink, arcs []graph.Edge, perArc float64, t int, c float64, seed uint64) (Stats, error) {
 	if t <= 0 {
 		return Stats{}, fmt.Errorf("sampler: T must be positive, got %d", t)
 	}

@@ -1,0 +1,132 @@
+package sampler
+
+import (
+	"testing"
+
+	"lightne/internal/aggregate"
+	"lightne/internal/graph"
+	"lightne/internal/hashtable"
+)
+
+// TestSinkShardedStress drives the full sampler → sharded table → grouped
+// drain path with a deliberately tiny capacity hint so every shard grows
+// (several times) under concurrent inserts. Run under `go test -race` (wired
+// into `make race`) this covers the CAS insert, xadd accumulate, grow lock,
+// parallel two-pass drain, and radix grouping together. The drained CSR must
+// be bit-identical to the single-table run with the same seed.
+func TestSinkShardedStress(t *testing.T) {
+	g := completeGraph(t, 48)
+	cfg := Config{T: 4, M: 300_000, Downsample: true, Seed: 17, TableSizeHint: 16}
+
+	cfg.Shards = 1
+	ref, refStats, err := Sample(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := ref.(*hashtable.Table); !ok {
+		t.Fatalf("shards=1 sink is %T, want *hashtable.Table", ref)
+	}
+	refRowPtr, refCols, refWs := ref.DrainCSR(g.NumVertices())
+
+	cfg.Shards = 8
+	sink, stats, err := Sample(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, ok := sink.(*aggregate.SharedTable)
+	if !ok {
+		t.Fatalf("shards=8 sink is %T, want *aggregate.SharedTable", sink)
+	}
+	if st.Shards() != 8 {
+		t.Fatalf("got %d shards, want 8", st.Shards())
+	}
+	if stats.Trials != refStats.Trials || stats.Heads != refStats.Heads {
+		t.Fatalf("stats differ: %+v vs %+v", stats, refStats)
+	}
+	if sink.Len() != ref.Len() {
+		t.Fatalf("distinct entries %d, want %d", sink.Len(), ref.Len())
+	}
+
+	rowPtr, cols, ws := sink.DrainCSR(g.NumVertices())
+	if len(cols) != len(refCols) {
+		t.Fatalf("nnz %d, want %d", len(cols), len(refCols))
+	}
+	for i := range refRowPtr {
+		if rowPtr[i] != refRowPtr[i] {
+			t.Fatalf("rowPtr[%d]=%d want %d", i, rowPtr[i], refRowPtr[i])
+		}
+	}
+	for i := range refCols {
+		if cols[i] != refCols[i] || ws[i] != refWs[i] {
+			t.Fatalf("entry %d: (%d,%v) want (%d,%v)", i, cols[i], ws[i], refCols[i], refWs[i])
+		}
+	}
+
+	// Weight mass conservation: total drained weight equals Σ heads·(1/p_e)
+	// accumulated in both orientations; cheaper to check the two drains agree
+	// and are symmetric.
+	var total, refTotal float64
+	for i := range ws {
+		total += ws[i]
+		refTotal += refWs[i]
+	}
+	if total != refTotal {
+		t.Fatalf("total weight %v, want %v", total, refTotal)
+	}
+}
+
+// TestSinkIncrementalSharded exercises SampleArcsInto against a sharded sink
+// (the dynamic embedder's configuration): concurrent accumulation into an
+// undersized sharded table, then a partial drain whose per-row multisets
+// must match the fully-sorted drain.
+func TestSinkIncrementalSharded(t *testing.T) {
+	g := completeGraph(t, 32)
+	arcs := make([]graph.Edge, 0, 32*31/2)
+	for u := 0; u < 32; u++ {
+		for v := u + 1; v < 32; v++ {
+			arcs = append(arcs, graph.Edge{U: uint32(u), V: uint32(v)})
+		}
+	}
+	sink := NewSink(16, 4)
+	stats, err := SampleArcsInto(g, sink, arcs, 50, 3, 2, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Trials == 0 || sink.Len() == 0 {
+		t.Fatalf("degenerate run: %+v, len %d", stats, sink.Len())
+	}
+	n := g.NumVertices()
+	rowPtr, cols, ws := sink.DrainCSR(n)
+	pRowPtr, pCols, pWs := sink.DrainCSRPartial(n)
+	for i := range rowPtr {
+		if rowPtr[i] != pRowPtr[i] {
+			t.Fatalf("partial rowPtr[%d]=%d want %d", i, pRowPtr[i], rowPtr[i])
+		}
+	}
+	// Per-row multisets must agree; the sorted drain is the canonical order.
+	for r := 0; r < n; r++ {
+		lo, hi := rowPtr[r], rowPtr[r+1]
+		seen := make(map[uint64]int)
+		for i := lo; i < hi; i++ {
+			seen[uint64(pCols[i])]++
+		}
+		for i := lo; i < hi; i++ {
+			seen[uint64(cols[i])]--
+		}
+		for k, c := range seen {
+			if c != 0 {
+				t.Fatalf("row %d: column %d multiset mismatch (%d)", r, k, c)
+			}
+		}
+		// Weights travel with their columns.
+		sorted := make(map[uint64]float64)
+		for i := lo; i < hi; i++ {
+			sorted[uint64(cols[i])] = ws[i]
+		}
+		for i := lo; i < hi; i++ {
+			if sorted[uint64(pCols[i])] != pWs[i] {
+				t.Fatalf("row %d col %d: weight %v want %v", r, pCols[i], pWs[i], sorted[uint64(pCols[i])])
+			}
+		}
+	}
+}

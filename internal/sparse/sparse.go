@@ -15,6 +15,7 @@ import (
 	"lightne/internal/dense"
 	"lightne/internal/hashtable"
 	"lightne/internal/par"
+	"lightne/internal/radix"
 )
 
 // CSR is a compressed sparse row matrix.
@@ -23,7 +24,17 @@ type CSR struct {
 	RowPtr           []int64 // len NumRows+1
 	ColIdx           []uint32
 	Val              []float64
+	// colsUnsorted marks matrices built by the partition-only (grouped, not
+	// sorted) fast path: rows are grouped but columns within a row are in
+	// arrival order. Streaming consumers (SpMM, Apply, TruncLog, Transpose)
+	// don't care; At falls back to a linear scan. The zero value means
+	// sorted, which every other builder guarantees.
+	colsUnsorted bool
 }
+
+// ColumnsSorted reports whether every row's columns are strictly ascending
+// (true for all builders except FromCSRPartsGrouped).
+func (m *CSR) ColumnsSorted() bool { return !m.colsUnsorted }
 
 // NNZ returns the number of stored entries.
 func (m *CSR) NNZ() int64 { return m.RowPtr[m.NumRows] }
@@ -34,87 +45,72 @@ func (m *CSR) MemoryBytes() int64 {
 }
 
 // FromCOO builds a CSR matrix from triples, summing duplicates. Triples may
-// arrive in any order.
+// arrive in any order; the input slices are not modified.
+//
+// The build runs entirely on the radix machinery: triples pack into
+// (row<<32|col) keys, one parallel stable LSD grouping sorts them into
+// row-grouped column-sorted order (radix.GroupCSR — no interface-based
+// per-row comparison sort), and a merge pass sums now-adjacent duplicates.
+// Stability makes the result deterministic: duplicates are summed in input
+// order, for any worker count.
 func FromCOO(rows, cols int, us, vs []uint32, ws []float64) (*CSR, error) {
 	if len(us) != len(vs) || len(us) != len(ws) {
 		return nil, fmt.Errorf("sparse: COO slice lengths differ (%d, %d, %d)", len(us), len(vs), len(ws))
 	}
-	for i := range us {
+	n := len(us)
+	var bad int64 = -1
+	par.For(n, 4096, func(i int) {
 		if int(us[i]) >= rows || int(vs[i]) >= cols {
-			return nil, fmt.Errorf("sparse: entry (%d,%d) outside %dx%d", us[i], vs[i], rows, cols)
+			atomic.StoreInt64(&bad, int64(i))
 		}
+	})
+	if bad >= 0 {
+		return nil, fmt.Errorf("sparse: entry (%d,%d) outside %dx%d", us[bad], vs[bad], rows, cols)
 	}
-	// Count entries per row, scan, scatter, then sort and merge each row.
-	counts := make([]int64, rows+1)
-	for _, u := range us {
-		counts[u+1]++
-	}
-	for r := 0; r < rows; r++ {
-		counts[r+1] += counts[r]
-	}
-	colIdx := make([]uint32, len(us))
-	val := make([]float64, len(us))
-	next := make([]int64, rows)
-	copy(next, counts[:rows])
-	for i, u := range us {
-		p := next[u]
-		next[u]++
-		colIdx[p] = vs[i]
-		val[p] = ws[i]
-	}
-	m := &CSR{NumRows: rows, NumCols: cols, RowPtr: counts, ColIdx: colIdx, Val: val}
-	m.sortAndMergeRows()
-	return m, nil
-}
-
-// sortAndMergeRows sorts each row by column and sums duplicate columns,
-// compacting storage in place.
-func (m *CSR) sortAndMergeRows() {
-	type rowRange struct{ lo, hi, outLen int64 }
-	ranges := make([]rowRange, m.NumRows)
-	par.For(m.NumRows, 64, func(r int) {
-		lo, hi := m.RowPtr[r], m.RowPtr[r+1]
-		cols := m.ColIdx[lo:hi]
-		vals := m.Val[lo:hi]
-		sort.Sort(&rowSorter{cols, vals})
-		// Merge duplicates in place.
-		out := 0
-		for i := 0; i < len(cols); i++ {
-			if out > 0 && cols[out-1] == cols[i] {
+	keys := make([]uint64, n)
+	vals := make([]float64, n)
+	par.For(n, 4096, func(i int) {
+		keys[i] = uint64(us[i])<<32 | uint64(vs[i])
+		vals[i] = ws[i]
+	})
+	rawPtr := radix.GroupCSR(keys, vals, rows)
+	// Merge duplicate keys (adjacent after the sort) into the head of each
+	// row segment, then compact into exact-fit output arrays.
+	outLens := make([]int64, rows)
+	par.For(rows, 64, func(r int) {
+		lo, hi := rawPtr[r], rawPtr[r+1]
+		out := lo
+		for i := lo; i < hi; i++ {
+			if out > lo && keys[out-1] == keys[i] {
 				vals[out-1] += vals[i]
 				continue
 			}
-			cols[out] = cols[i]
+			keys[out] = keys[i]
 			vals[out] = vals[i]
 			out++
 		}
-		ranges[r] = rowRange{lo, hi, int64(out)}
+		outLens[r] = out - lo
 	})
-	// Compact sequentially.
-	newPtr := make([]int64, m.NumRows+1)
-	var w int64
-	for r := 0; r < m.NumRows; r++ {
-		rr := ranges[r]
-		copy(m.ColIdx[w:w+rr.outLen], m.ColIdx[rr.lo:rr.lo+rr.outLen])
-		copy(m.Val[w:w+rr.outLen], m.Val[rr.lo:rr.lo+rr.outLen])
-		w += rr.outLen
-		newPtr[r+1] = w
-	}
-	m.RowPtr = newPtr
-	m.ColIdx = m.ColIdx[:w]
-	m.Val = m.Val[:w]
-}
-
-type rowSorter struct {
-	cols []uint32
-	vals []float64
-}
-
-func (s *rowSorter) Len() int           { return len(s.cols) }
-func (s *rowSorter) Less(i, j int) bool { return s.cols[i] < s.cols[j] }
-func (s *rowSorter) Swap(i, j int) {
-	s.cols[i], s.cols[j] = s.cols[j], s.cols[i]
-	s.vals[i], s.vals[j] = s.vals[j], s.vals[i]
+	total := par.ExclusiveScan(outLens) // outLens now holds output offsets
+	colIdx := make([]uint32, total)
+	val := make([]float64, total)
+	rowPtr := make([]int64, rows+1)
+	par.For(rows, 64, func(r int) {
+		w := outLens[r] // output offset of row r
+		rowPtr[r] = w
+		length := total - w
+		if r+1 < rows {
+			length = outLens[r+1] - w
+		}
+		lo := rawPtr[r]
+		for i := lo; i < lo+length; i++ {
+			colIdx[w] = uint32(keys[i])
+			val[w] = vals[i]
+			w++
+		}
+	})
+	rowPtr[rows] = total
+	return &CSR{NumRows: rows, NumCols: cols, RowPtr: rowPtr, ColIdx: colIdx, Val: val}, nil
 }
 
 // FromCSRParts wraps pre-built CSR arrays without copying. The arrays must
@@ -124,6 +120,22 @@ func (s *rowSorter) Swap(i, j int) {
 // hashtable.DrainCSR produces. All invariants are validated (in parallel),
 // so a malformed hand-off fails loudly instead of corrupting the SVD input.
 func FromCSRParts(rows, cols int, rowPtr []int64, colIdx []uint32, val []float64) (*CSR, error) {
+	return fromCSRParts(rows, cols, rowPtr, colIdx, val, true)
+}
+
+// FromCSRPartsGrouped is FromCSRParts for the partition-only drain
+// (hashtable DrainCSRPartial / radix.GroupCSRPartial): rows must be grouped
+// and in-bounds, but columns within a row may be in any order. The resulting
+// matrix reports ColumnsSorted() == false and At falls back to a linear row
+// scan; every streaming consumer (SpMM, Apply, TruncLog, Transpose,
+// Scale*) works unchanged. Use it only where the matrix feeds SpMM-style
+// row streaming — never where binary-searched lookups or bit-reproducible
+// layouts are required.
+func FromCSRPartsGrouped(rows, cols int, rowPtr []int64, colIdx []uint32, val []float64) (*CSR, error) {
+	return fromCSRParts(rows, cols, rowPtr, colIdx, val, false)
+}
+
+func fromCSRParts(rows, cols int, rowPtr []int64, colIdx []uint32, val []float64, sorted bool) (*CSR, error) {
 	if len(rowPtr) != rows+1 {
 		return nil, fmt.Errorf("sparse: rowPtr has %d entries, want %d", len(rowPtr), rows+1)
 	}
@@ -141,7 +153,7 @@ func FromCSRParts(rows, cols int, rowPtr []int64, colIdx []uint32, val []float64
 			return
 		}
 		for p := lo; p < hi; p++ {
-			if int(colIdx[p]) >= cols || (p > lo && colIdx[p] <= colIdx[p-1]) {
+			if int(colIdx[p]) >= cols || (sorted && p > lo && colIdx[p] <= colIdx[p-1]) {
 				atomic.StoreInt32(&bad, 1)
 				return
 			}
@@ -150,7 +162,7 @@ func FromCSRParts(rows, cols int, rowPtr []int64, colIdx []uint32, val []float64
 	if bad != 0 {
 		return nil, fmt.Errorf("sparse: CSR parts violate row/column invariants")
 	}
-	return &CSR{NumRows: rows, NumCols: cols, RowPtr: rowPtr, ColIdx: colIdx, Val: val}, nil
+	return &CSR{NumRows: rows, NumCols: cols, RowPtr: rowPtr, ColIdx: colIdx, Val: val, colsUnsorted: !sorted}, nil
 }
 
 // FromTable builds an n×n CSR matrix from the sampler's hash table via the
@@ -160,11 +172,21 @@ func FromTable(n int, t *hashtable.Table) (*CSR, error) {
 	return FromCSRParts(n, n, rowPtr, cols, ws)
 }
 
-// At returns entry (i, j), zero if absent. O(log degree) binary search;
-// intended for tests and spot checks, not inner loops.
+// At returns entry (i, j), zero if absent. O(log degree) binary search on
+// sorted rows — the reason the fully-sorted builders exist; on a
+// partition-only (grouped) matrix it degrades to a linear row scan.
+// Intended for tests and spot checks, not inner loops.
 func (m *CSR) At(i int, j uint32) float64 {
 	lo, hi := m.RowPtr[i], m.RowPtr[i+1]
 	cols := m.ColIdx[lo:hi]
+	if m.colsUnsorted {
+		for p, c := range cols {
+			if c == j {
+				return m.Val[lo+int64(p)]
+			}
+		}
+		return 0
+	}
 	k := sort.Search(len(cols), func(p int) bool { return cols[p] >= j })
 	if k < len(cols) && cols[k] == j {
 		return m.Val[lo+int64(k)]
@@ -195,7 +217,10 @@ func SpMM(y *dense.Matrix, m *CSR, x *dense.Matrix) {
 	})
 }
 
-// Transpose returns Mᵀ.
+// Transpose returns Mᵀ. The result is always column-sorted — the row-major
+// scatter emits each transposed row in source-row order — even when the
+// source rows were only grouped, so transposing "launders" a partial-sort
+// matrix back into a fully-sorted one.
 func (m *CSR) Transpose() *CSR {
 	t := &CSR{NumRows: m.NumCols, NumCols: m.NumRows}
 	t.RowPtr = make([]int64, m.NumCols+1)
@@ -267,6 +292,8 @@ func (m *CSR) TruncLog() *CSR {
 		RowPtr:  counts,
 		ColIdx:  make([]uint32, counts[m.NumRows]),
 		Val:     make([]float64, counts[m.NumRows]),
+		// Pruning preserves within-row order, so sortedness carries over.
+		colsUnsorted: m.colsUnsorted,
 	}
 	par.For(m.NumRows, 64, func(i int) {
 		w := out.RowPtr[i]
