@@ -20,11 +20,16 @@ test:
 # The packages with real concurrency: the lock-free serving store under
 # query-during-hot-swap load, the incremental embedder feeding it, the
 # lock-free aggregation path (hash table + sharded aggregators + par
-# primitives) under Add/grow/Get interleaving, and the sampler's end-to-end
+# primitives) under Add/grow/Get interleaving, the sampler's end-to-end
 # sampler → sharded table → grouped drain stress test (undersized tables
-# force concurrent grows).
+# force concurrent grows), and the fault-injection harness driving the
+# supervised ingest loop. The second line runs the root package's
+# crash-safe checkpoint and fault-injection tests (kill-mid-write, CRC
+# fallback) under the detector without dragging the full factorization
+# test suite through -race.
 race:
-	$(GO) test -race ./internal/serve ./internal/dynamic ./internal/hashtable ./internal/aggregate ./internal/par ./internal/sampler
+	$(GO) test -race ./internal/serve ./internal/dynamic ./internal/hashtable ./internal/aggregate ./internal/par ./internal/sampler ./internal/faultinject
+	$(GO) test -race -run 'Checkpoint|Embedding' .
 
 # One verification entry point: build + tests + static checks + race.
 check: tier1 vet race

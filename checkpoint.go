@@ -1,0 +1,93 @@
+package lightne
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"lightne/internal/faultinject"
+)
+
+// Crash-safe snapshot checkpoints. A checkpoint is the last served
+// embedding persisted in the CRC-trailed LNEB v3 framing, written with the
+// classic atomic-replace protocol:
+//
+//	write <path>.tmp → fsync file → rename over <path> → fsync directory
+//
+// so the checkpoint path always holds either the previous complete
+// checkpoint or the new complete checkpoint, never a torn write. A crash
+// mid-write leaves at worst a partial <path>.tmp, which recovery ignores
+// and the next successful write replaces. If the filesystem still manages
+// to tear the final file (lost dir sync, disk corruption), the v3 CRC
+// trailer catches it: ReadCheckpoint fails loudly and the caller falls
+// back to a cold start instead of serving corrupt vectors.
+
+// WriteCheckpoint atomically persists x to path in the LNEB v3 format.
+func WriteCheckpoint(path string, x *Matrix) error {
+	return WriteCheckpointHooked(path, x, nil)
+}
+
+// WriteCheckpointHooked is WriteCheckpoint with fault-injection hooks
+// (faultinject.CheckpointData / CheckpointSync / CheckpointRename) for
+// crash-recovery tests; nil hooks means no injection.
+func WriteCheckpointHooked(path string, x *Matrix, h faultinject.Hooks) error {
+	hooks := faultinject.OrNop(h)
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("lightne: creating checkpoint temp file: %w", err)
+	}
+	// An injected mid-write failure simulates a kill: return without
+	// cleanup, leaving the torn temp file exactly as a crash would. The
+	// final path is untouched either way.
+	mid := func() error { return hooks.Fire(faultinject.CheckpointData) }
+	if err := writeEmbeddingV3(f, x, mid); err != nil {
+		f.Close()
+		return fmt.Errorf("lightne: writing checkpoint %s: %w", tmp, err)
+	}
+	if err := hooks.Fire(faultinject.CheckpointSync); err != nil {
+		f.Close()
+		return fmt.Errorf("lightne: syncing checkpoint %s: %w", tmp, err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("lightne: syncing checkpoint %s: %w", tmp, err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("lightne: closing checkpoint %s: %w", tmp, err)
+	}
+	if err := hooks.Fire(faultinject.CheckpointRename); err != nil {
+		return fmt.Errorf("lightne: publishing checkpoint %s: %w", path, err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return fmt.Errorf("lightne: publishing checkpoint %s: %w", path, err)
+	}
+	// Persist the rename itself. Best effort: some filesystems refuse
+	// directory fsync, and the data file is already durable.
+	if dir, err := os.Open(filepath.Dir(path)); err == nil {
+		_ = dir.Sync()
+		dir.Close()
+	}
+	return nil
+}
+
+// ReadCheckpoint loads a checkpoint written by WriteCheckpoint, verifying
+// its CRC-32C trailer. It rejects embeddings in the older v1/v2 framings —
+// a checkpoint without a checksum cannot distinguish a torn write from
+// good data, which defeats its purpose; point artifact loading at those
+// files instead (ReadEmbedding).
+func ReadCheckpoint(path string) (*Matrix, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	x, version, err := readEmbeddingBinary(f)
+	if err != nil {
+		return nil, fmt.Errorf("lightne: checkpoint %s: %w", path, err)
+	}
+	if version < 3 {
+		return nil, fmt.Errorf("lightne: checkpoint %s is format v%d, which has no checksum; checkpoints require v3 (rewrite it with WriteCheckpoint)", path, version)
+	}
+	return x, nil
+}

@@ -2,7 +2,7 @@
 // queries over an embedding artifact produced by cmd/lightne, exposing a
 // JSON API:
 //
-//	GET  /healthz                       liveness + snapshot info
+//	GET  /healthz                       liveness + snapshot info (ok/degraded/loading)
 //	GET  /metrics                       request counters, latency p50/p95/p99
 //	GET  /v1/neighbors?vertex=V&k=K     top-k cosine neighbors of V
 //	POST /v1/neighbors                  {"vertex": V, "k": K}
@@ -12,7 +12,7 @@
 // Typical session:
 //
 //	lightne -input graph.txt -output emb.bin -binary -dim 128
-//	lightne-serve -artifact emb.bin -addr :7475 &
+//	lightne-serve -artifact emb.bin -checkpoint emb.ckpt -addr :7475 &
 //	curl 'localhost:7475/v1/neighbors?vertex=42&k=10'
 //
 // The artifact may be the versioned binary format (fastest) or text rows;
@@ -20,6 +20,16 @@
 // codes. The loaded snapshot is hot-swappable: SIGHUP (or -watch) reloads
 // the artifact and publishes it atomically with zero query downtime.
 // SIGINT/SIGTERM drain in-flight requests before exiting.
+//
+// Failure hardening: -checkpoint persists each served snapshot to a
+// crash-safe CRC-checked file (temp + fsync + atomic rename). On restart
+// the checkpoint warm-starts the server even when the artifact is missing
+// or corrupt; a checkpoint torn by a kill mid-write fails its CRC check
+// and the server falls back to a cold start from the artifact. -max-inflight
+// sheds excess concurrent queries with 503 + Retry-After, and
+// -request-timeout attaches a deadline to each query's context; handler
+// panics answer 500 and increment lightne_panics_total instead of dropping
+// the connection.
 package main
 
 import (
@@ -38,10 +48,13 @@ import (
 
 func main() {
 	var (
-		artifact  = flag.String("artifact", "", "embedding artifact from cmd/lightne, binary or text (required)")
-		addr      = flag.String("addr", ":7475", "listen address")
-		precision = flag.String("precision", "float32", "index precision: float32 (2x smaller than training output) or int8 (8x)")
-		watch     = flag.Duration("watch", 0, "poll the artifact at this interval and hot-swap on change (0 = SIGHUP only)")
+		artifact    = flag.String("artifact", "", "embedding artifact from cmd/lightne, binary or text (required)")
+		addr        = flag.String("addr", ":7475", "listen address")
+		precision   = flag.String("precision", "float32", "index precision: float32 (2x smaller than training output) or int8 (8x)")
+		watch       = flag.Duration("watch", 0, "poll the artifact at this interval and hot-swap on change (0 = SIGHUP only)")
+		checkpoint  = flag.String("checkpoint", "", "crash-safe snapshot checkpoint path: written after each publish, loaded (CRC-checked) for warm restart")
+		maxInFlight = flag.Int("max-inflight", 0, "max concurrently executing queries before shedding with 503 (0 = unlimited)")
+		reqTimeout  = flag.Duration("request-timeout", 0, "per-request context deadline (0 = none)")
 	)
 	flag.Parse()
 	log.SetFlags(log.LstdFlags | log.Lmicroseconds)
@@ -53,14 +66,41 @@ func main() {
 	}
 
 	store := serve.NewStore()
+
+	// Warm restart: a CRC-valid checkpoint serves immediately, before (and
+	// independent of) the artifact load. Corruption — including a file torn
+	// by a crash mid-write — fails the checksum and falls through to the
+	// cold path.
+	warm := false
+	if *checkpoint != "" {
+		if x, err := lightne.ReadCheckpoint(*checkpoint); err == nil {
+			if ix, ixErr := serve.NewIndex(x, *precision); ixErr == nil {
+				store.Publish(ix, 0)
+				warm = true
+				log.Printf("warm restart from checkpoint %s: %d vertices x %d dims", *checkpoint, x.Rows, x.Cols)
+			} else {
+				log.Printf("checkpoint index build failed, cold starting: %v", ixErr)
+			}
+		} else if !os.IsNotExist(err) {
+			log.Printf("checkpoint unusable, cold starting from artifact: %v", err)
+		}
+	}
+
+	// Cold path: load the artifact. With a warm snapshot already published,
+	// an artifact failure only means serving the checkpointed generation.
 	mtime, err := publishArtifact(store, *artifact, *precision)
-	if err != nil {
+	switch {
+	case err == nil:
+		snap := store.Snapshot()
+		log.Printf("loaded %s: %d vertices x %d dims, %s index (%.1f MB)",
+			*artifact, snap.Index.Rows(), snap.Index.Dims(), *precision,
+			float64(snap.Index.MemoryBytes())/1e6)
+		writeCheckpoint(*checkpoint, *artifact)
+	case warm:
+		log.Printf("artifact load failed, serving checkpoint snapshot: %v", err)
+	default:
 		log.Fatal(err)
 	}
-	snap := store.Snapshot()
-	log.Printf("loaded %s: %d vertices x %d dims, %s index (%.1f MB)",
-		*artifact, snap.Index.Rows(), snap.Index.Dims(), *precision,
-		float64(snap.Index.MemoryBytes())/1e6)
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
@@ -95,10 +135,14 @@ func main() {
 			s := store.Snapshot()
 			log.Printf("hot-swapped snapshot v%d: %d vertices x %d dims",
 				s.Version, s.Index.Rows(), s.Index.Dims())
+			writeCheckpoint(*checkpoint, *artifact)
 		}
 	}()
 
-	srv := serve.New(store)
+	srv := serve.New(store, serve.WithLimits(serve.Limits{
+		MaxInFlight:    *maxInFlight,
+		RequestTimeout: *reqTimeout,
+	}))
 	log.Printf("serving on %s", *addr)
 	if err := srv.ListenAndServe(ctx, *addr); err != nil {
 		log.Fatal(err)
@@ -128,4 +172,29 @@ func publishArtifact(store *serve.Store, path, precision string) (time.Time, err
 	}
 	store.Publish(ix, 0)
 	return st.ModTime(), nil
+}
+
+// writeCheckpoint persists the just-published artifact to the checkpoint
+// path (crash-safe). Failures are logged, never fatal: a checkpoint is an
+// optimization for the next restart, not a serving dependency.
+func writeCheckpoint(checkpointPath, artifactPath string) {
+	if checkpointPath == "" {
+		return
+	}
+	f, err := os.Open(artifactPath)
+	if err != nil {
+		log.Printf("checkpoint skipped, cannot reopen artifact: %v", err)
+		return
+	}
+	defer f.Close()
+	x, err := lightne.ReadEmbedding(f)
+	if err != nil {
+		log.Printf("checkpoint skipped, artifact unreadable: %v", err)
+		return
+	}
+	if err := lightne.WriteCheckpoint(checkpointPath, x); err != nil {
+		log.Printf("checkpoint write failed: %v", err)
+		return
+	}
+	log.Printf("checkpointed snapshot to %s", checkpointPath)
 }

@@ -2,6 +2,8 @@ package lightne_test
 
 import (
 	"bytes"
+	"encoding/binary"
+	"math"
 	"strings"
 	"testing"
 
@@ -31,16 +33,44 @@ func FuzzReadEmbeddingText(f *testing.F) {
 	})
 }
 
-// FuzzReadEmbeddingBinary asserts the binary reader rejects corruption
-// without panicking and roundtrips valid payloads.
-func FuzzReadEmbeddingBinary(f *testing.F) {
+// binarySeedCorpus builds one valid byte stream per binary framing (v1
+// version-less, v2 trailer-less, v3 CRC-trailed) over the same 3x2 matrix.
+func binarySeedCorpus(f *testing.F) [][]byte {
+	f.Helper()
 	x := dense.NewMatrix(3, 2)
 	x.FillGaussian(1)
-	var buf bytes.Buffer
-	if err := lightne.WriteEmbeddingBinary(&buf, x); err != nil {
+	var v3 bytes.Buffer
+	if err := lightne.WriteEmbeddingBinary(&v3, x); err != nil {
 		f.Fatal(err)
 	}
-	f.Add(buf.Bytes())
+	payload := func(hdr []byte) []byte {
+		var buf bytes.Buffer
+		buf.Write(hdr)
+		var w [8]byte
+		for _, v := range x.Data {
+			binary.LittleEndian.PutUint64(w[:], math.Float64bits(v))
+			buf.Write(w[:])
+		}
+		return buf.Bytes()
+	}
+	hdr32 := func(words ...uint32) []byte {
+		out := make([]byte, 4*len(words))
+		for i, v := range words {
+			binary.LittleEndian.PutUint32(out[4*i:], v)
+		}
+		return out
+	}
+	v1 := payload(hdr32(0x314e454c, 3, 2))    // "LNE1", rows, cols
+	v2 := payload(hdr32(0x42454e4c, 2, 3, 2)) // "LNEB", version, rows, cols
+	return [][]byte{v1, v2, v3.Bytes()}
+}
+
+// FuzzReadEmbeddingBinary asserts the binary reader rejects corruption
+// without panicking and roundtrips valid payloads in every framing.
+func FuzzReadEmbeddingBinary(f *testing.F) {
+	for _, seed := range binarySeedCorpus(f) {
+		f.Add(seed)
+	}
 	f.Add([]byte{})
 	f.Add([]byte("LNE1aaaaaaaaaaaa"))
 	f.Fuzz(func(t *testing.T, data []byte) {
@@ -50,6 +80,32 @@ func FuzzReadEmbeddingBinary(f *testing.F) {
 		}
 		if len(y.Data) != y.Rows*y.Cols {
 			t.Fatal("data length inconsistent with shape")
+		}
+	})
+}
+
+// FuzzReadEmbedding drives the auto-detecting entry point (the one
+// lightne-serve loads artifacts through) with every binary framing plus
+// text: it must never panic, never accept an inconsistent shape, and — for
+// inputs that start with the v3 magic+version — never accept a payload
+// whose CRC trailer does not match.
+func FuzzReadEmbedding(f *testing.F) {
+	for _, seed := range binarySeedCorpus(f) {
+		f.Add(seed)
+	}
+	f.Add([]byte("1 2\n3 4\n"))
+	f.Add([]byte{})
+	f.Add([]byte("LNEB"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		y, err := lightne.ReadEmbedding(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if y.Rows <= 0 || y.Cols <= 0 || len(y.Data) != y.Rows*y.Cols {
+			t.Fatal("accepted embedding with inconsistent shape")
+		}
+		if y.Cols > 1<<20 {
+			t.Fatal("accepted implausible dimension")
 		}
 	})
 }

@@ -299,6 +299,18 @@ func (s *SharedTable) MemoryBytes() int64 {
 	return n
 }
 
+// PeakMemoryBytes sums each shard's storage high-water mark (including
+// grow transients). Shards grow independently, so the sum slightly
+// overstates the instantaneous peak unless every shard grew at once — a
+// conservative bound, which is the useful direction for capacity planning.
+func (s *SharedTable) PeakMemoryBytes() int64 {
+	var n int64
+	for _, t := range s.shards {
+		n += t.PeakMemoryBytes()
+	}
+	return n
+}
+
 // Shards reports the shard count (1 for the unsharded mode).
 func (s *SharedTable) Shards() int { return len(s.shards) }
 

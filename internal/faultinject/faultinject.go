@@ -1,0 +1,181 @@
+// Package faultinject provides deterministic fault injection for the
+// failure-hardening tests of the serving and checkpoint layers. Production
+// code threads a Hooks value through its failure-prone steps and fires a
+// named Point at each one; tests install an Injector that makes chosen
+// calls fail, stall, or panic on a deterministic schedule, so recovery
+// paths (supervisor restarts, degraded mode, checkpoint CRC fallback) can
+// be exercised exactly, including under -race.
+//
+// Production builds pass Nop (or nil, which every call site treats as
+// Nop): Fire then compiles down to a nil-check and costs nothing on the
+// hot path.
+package faultinject
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Point names one instrumented step. The constants below are the points
+// the repository's production code fires; tests may invent ad-hoc points.
+type Point string
+
+// Instrumented points in the serving and checkpoint layers.
+const (
+	// IngestApply fires before the ingester applies an edge batch to the
+	// dynamic embedder.
+	IngestApply Point = "ingest.apply"
+	// IngestRefresh fires before the ingester's full Refresh rebuild.
+	IngestRefresh Point = "ingest.refresh"
+	// IngestPublish fires before the ingester publishes a snapshot.
+	IngestPublish Point = "ingest.publish"
+	// CheckpointData fires mid-way through writing checkpoint data (after
+	// the header and roughly half the payload) — an error here abandons a
+	// partially written temp file, simulating a crash mid-write.
+	CheckpointData Point = "checkpoint.data"
+	// CheckpointSync fires before the checkpoint file is fsynced.
+	CheckpointSync Point = "checkpoint.sync"
+	// CheckpointRename fires before the temp file is atomically renamed
+	// over the checkpoint path.
+	CheckpointRename Point = "checkpoint.rename"
+)
+
+// Hooks is the interface production code fires points against.
+type Hooks interface {
+	// Fire reports an injected error for this call of the point, or nil.
+	// Implementations may also sleep (latency injection) or panic.
+	Fire(p Point) error
+}
+
+// Err is the sentinel returned by injected failures that don't specify
+// their own error.
+var Err = errors.New("faultinject: injected error")
+
+// Nop ignores every point; it is the production default.
+var Nop Hooks = nop{}
+
+type nop struct{}
+
+func (nop) Fire(Point) error { return nil }
+
+// OrNop returns h, or Nop when h is nil, so call sites can fire without a
+// nil check.
+func OrNop(h Hooks) Hooks {
+	if h == nil {
+		return Nop
+	}
+	return h
+}
+
+// rule is one scheduled behavior for a point: it applies to calls numbered
+// from..to (1-based, inclusive).
+type rule struct {
+	from, to int
+	delay    time.Duration
+	err      error
+	panicMsg string
+}
+
+func (r rule) matches(call int) bool { return call >= r.from && call <= r.to }
+
+// Injector is a deterministic Hooks implementation: each point carries an
+// ordered rule list keyed by call number, so the k-th Fire of a point
+// always behaves the same regardless of goroutine interleaving. Safe for
+// concurrent use.
+type Injector struct {
+	mu    sync.Mutex
+	rules map[Point][]rule
+	calls map[Point]int
+}
+
+// New returns an empty injector (all points succeed).
+func New() *Injector {
+	return &Injector{rules: make(map[Point][]rule), calls: make(map[Point]int)}
+}
+
+func (in *Injector) add(p Point, r rule) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.rules[p] = append(in.rules[p], r)
+}
+
+// FailN makes the first n calls of p return err (Err when err is nil).
+// Calls after the n-th succeed — the canonical transient fault.
+func (in *Injector) FailN(p Point, n int, err error) {
+	if err == nil {
+		err = Err
+	}
+	in.add(p, rule{from: 1, to: n, err: err})
+}
+
+// FailAt makes exactly the call-th (1-based) call of p return err (Err
+// when err is nil).
+func (in *Injector) FailAt(p Point, call int, err error) {
+	if err == nil {
+		err = Err
+	}
+	in.add(p, rule{from: call, to: call, err: err})
+}
+
+// FailAlways makes every call of p return err (Err when err is nil) — the
+// canonical persistent fault that drives a supervisor into degraded mode.
+func (in *Injector) FailAlways(p Point, err error) {
+	if err == nil {
+		err = Err
+	}
+	in.add(p, rule{from: 1, to: int(^uint(0) >> 1), err: err})
+}
+
+// DelayN injects d of latency into the first n calls of p (before any
+// error from other rules is reported).
+func (in *Injector) DelayN(p Point, n int, d time.Duration) {
+	in.add(p, rule{from: 1, to: n, delay: d})
+}
+
+// PanicAt makes exactly the call-th (1-based) call of p panic with msg.
+func (in *Injector) PanicAt(p Point, call int, msg string) {
+	if msg == "" {
+		msg = fmt.Sprintf("faultinject: injected panic at %s call %d", p, call)
+	}
+	in.add(p, rule{from: call, to: call, panicMsg: msg})
+}
+
+// Calls returns how many times p has fired.
+func (in *Injector) Calls(p Point) int {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.calls[p]
+}
+
+// Fire implements Hooks: it numbers the call, applies every matching
+// delay, then reports the first matching panic or error.
+func (in *Injector) Fire(p Point) error {
+	in.mu.Lock()
+	in.calls[p]++
+	call := in.calls[p]
+	var delay time.Duration
+	var err error
+	var panicMsg string
+	for _, r := range in.rules[p] {
+		if !r.matches(call) {
+			continue
+		}
+		delay += r.delay
+		if panicMsg == "" {
+			panicMsg = r.panicMsg
+		}
+		if err == nil {
+			err = r.err
+		}
+	}
+	in.mu.Unlock()
+	if delay > 0 {
+		time.Sleep(delay)
+	}
+	if panicMsg != "" {
+		panic(panicMsg)
+	}
+	return err
+}

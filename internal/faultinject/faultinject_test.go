@@ -1,0 +1,148 @@
+package faultinject
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNopAndNilAreSilent(t *testing.T) {
+	if err := Nop.Fire(IngestApply); err != nil {
+		t.Fatalf("Nop fired %v", err)
+	}
+	if h := OrNop(nil); h != Nop {
+		t.Fatal("OrNop(nil) must be Nop")
+	}
+	inj := New()
+	if OrNop(inj) != Hooks(inj) {
+		t.Fatal("OrNop must pass a non-nil Hooks through")
+	}
+}
+
+func TestFailNThenSucceed(t *testing.T) {
+	inj := New()
+	inj.FailN(IngestApply, 3, nil)
+	for i := 1; i <= 3; i++ {
+		if err := inj.Fire(IngestApply); !errors.Is(err, Err) {
+			t.Fatalf("call %d: want Err, got %v", i, err)
+		}
+	}
+	for i := 4; i <= 6; i++ {
+		if err := inj.Fire(IngestApply); err != nil {
+			t.Fatalf("call %d: want nil, got %v", i, err)
+		}
+	}
+	if c := inj.Calls(IngestApply); c != 6 {
+		t.Fatalf("calls = %d", c)
+	}
+	// Other points are unaffected.
+	if err := inj.Fire(IngestPublish); err != nil {
+		t.Fatalf("unrelated point fired %v", err)
+	}
+}
+
+func TestFailAtAndCustomError(t *testing.T) {
+	boom := fmt.Errorf("boom")
+	inj := New()
+	inj.FailAt(CheckpointData, 2, boom)
+	if err := inj.Fire(CheckpointData); err != nil {
+		t.Fatalf("call 1: %v", err)
+	}
+	if err := inj.Fire(CheckpointData); !errors.Is(err, boom) {
+		t.Fatalf("call 2: want boom, got %v", err)
+	}
+	if err := inj.Fire(CheckpointData); err != nil {
+		t.Fatalf("call 3: %v", err)
+	}
+}
+
+func TestFailAlways(t *testing.T) {
+	inj := New()
+	inj.FailAlways(IngestRefresh, nil)
+	for i := 0; i < 50; i++ {
+		if err := inj.Fire(IngestRefresh); !errors.Is(err, Err) {
+			t.Fatalf("call %d succeeded", i+1)
+		}
+	}
+}
+
+func TestDelayN(t *testing.T) {
+	inj := New()
+	inj.DelayN(IngestPublish, 1, 30*time.Millisecond)
+	t0 := time.Now()
+	if err := inj.Fire(IngestPublish); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(t0); d < 30*time.Millisecond {
+		t.Fatalf("first call returned after %v, want >= 30ms", d)
+	}
+	t0 = time.Now()
+	if err := inj.Fire(IngestPublish); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(t0); d > 20*time.Millisecond {
+		t.Fatalf("second call delayed %v, want fast", d)
+	}
+}
+
+func TestDelayComposesWithError(t *testing.T) {
+	inj := New()
+	inj.DelayN(IngestApply, 1, 20*time.Millisecond)
+	inj.FailN(IngestApply, 1, nil)
+	t0 := time.Now()
+	err := inj.Fire(IngestApply)
+	if !errors.Is(err, Err) || time.Since(t0) < 20*time.Millisecond {
+		t.Fatalf("want delayed error, got %v after %v", err, time.Since(t0))
+	}
+}
+
+func TestPanicAt(t *testing.T) {
+	inj := New()
+	inj.PanicAt(IngestApply, 2, "kaboom")
+	if err := inj.Fire(IngestApply); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if r := recover(); r != "kaboom" {
+			t.Fatalf("recovered %v", r)
+		}
+	}()
+	_ = inj.Fire(IngestApply)
+	t.Fatal("second call must panic")
+}
+
+// TestConcurrentFireIsDeterministicInAggregate: under concurrent firing the
+// set of outcomes is exactly {n failures, rest successes} for FailN — call
+// numbering is atomic, so no failure is lost or doubled. Run with -race.
+func TestConcurrentFireIsDeterministicInAggregate(t *testing.T) {
+	const workers, perWorker, failN = 8, 50, 13
+	inj := New()
+	inj.FailN(IngestApply, failN, nil)
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	failures := 0
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			local := 0
+			for i := 0; i < perWorker; i++ {
+				if inj.Fire(IngestApply) != nil {
+					local++
+				}
+			}
+			mu.Lock()
+			failures += local
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	if failures != failN {
+		t.Fatalf("observed %d failures, want %d", failures, failN)
+	}
+	if c := inj.Calls(IngestApply); c != workers*perWorker {
+		t.Fatalf("calls = %d", c)
+	}
+}

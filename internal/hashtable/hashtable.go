@@ -82,6 +82,7 @@ type Table struct {
 	vals  []uint64
 	mask  uint64
 	count int64 // distinct keys, updated atomically
+	peak  int64 // high-water mark of transient slot storage, updated atomically
 }
 
 // New returns a table presized to hold capacityHint distinct keys without
@@ -89,6 +90,7 @@ type Table struct {
 func New(capacityHint int) *Table {
 	t := &Table{}
 	t.init(presize(capacityHint))
+	t.notePeak(t.MemoryBytes())
 	return t
 }
 
@@ -181,6 +183,10 @@ func (t *Table) grow() {
 	}
 	oldKeys, oldVals := t.keys, t.vals
 	t.init((t.mask + 1) * 2)
+	// While rehashing, old and new slot arrays coexist: the true peak is
+	// their sum (1.5x the post-grow footprint), which MemoryBytes alone
+	// never shows — exactly the transient a capacity planner must budget.
+	t.notePeak(int64(len(oldKeys))*16 + t.MemoryBytes())
 	for i, k := range oldKeys {
 		if k == emptyKey {
 			continue
@@ -202,6 +208,21 @@ func (t *Table) Capacity() int { return len(t.keys) }
 
 // MemoryBytes returns the table's slot storage footprint.
 func (t *Table) MemoryBytes() int64 { return int64(len(t.keys)) * 16 }
+
+// PeakMemoryBytes returns the high-water mark of slot storage over the
+// table's lifetime, including the grow transient where the old and new
+// slot arrays coexist. Equals MemoryBytes for a table that never grew.
+func (t *Table) PeakMemoryBytes() int64 { return atomic.LoadInt64(&t.peak) }
+
+// notePeak raises the recorded high-water mark to bytes if it is larger.
+func (t *Table) notePeak(bytes int64) {
+	for {
+		cur := atomic.LoadInt64(&t.peak)
+		if bytes <= cur || atomic.CompareAndSwapInt64(&t.peak, cur, bytes) {
+			return
+		}
+	}
+}
 
 // Get returns the accumulated weight for (u, v) and whether it is present.
 // Safe for concurrent use with Add.

@@ -153,6 +153,7 @@ func SampleBatched(g *graph.Graph, cfg Config, waveSize int) (Sink, Stats, error
 
 	stats.DistinctEntries = table.Len()
 	stats.TableBytes = table.MemoryBytes()
+	stats.PeakTableBytes = table.PeakMemoryBytes()
 	return table, stats, nil
 }
 

@@ -145,6 +145,7 @@ func SampleUniform(g *graph.Graph, cfg Config, arcs ArcSampler) (Sink, Stats, er
 		Heads:           heads,
 		DistinctEntries: table.Len(),
 		TableBytes:      table.MemoryBytes(),
+		PeakTableBytes:  table.PeakMemoryBytes(),
 	}, nil
 }
 

@@ -68,7 +68,8 @@ type Stats struct {
 	Trials          int64 // Σ_e n_e, the realized sample count M̂
 	Heads           int64 // trials that passed the downsampling coin
 	DistinctEntries int   // distinct (u',v') keys in the table
-	TableBytes      int64 // hash table footprint
+	TableBytes      int64 // hash table footprint after the pass
+	PeakTableBytes  int64 // footprint high-water mark, incl. grow transients
 }
 
 // PathSample runs Algorithm 1: given arc (u, v) and walk length r, it splits
@@ -190,6 +191,7 @@ func Sample(g *graph.Graph, cfg Config) (Sink, Stats, error) {
 		Heads:           heads,
 		DistinctEntries: table.Len(),
 		TableBytes:      table.MemoryBytes(),
+		PeakTableBytes:  table.PeakMemoryBytes(),
 	}, nil
 }
 
@@ -255,5 +257,6 @@ func SampleArcsInto(g *graph.Graph, table Sink, arcs []graph.Edge, perArc float6
 		Heads:           heads,
 		DistinctEntries: table.Len(),
 		TableBytes:      table.MemoryBytes(),
+		PeakTableBytes:  table.PeakMemoryBytes(),
 	}, nil
 }

@@ -28,6 +28,10 @@ type Sink interface {
 	Len() int
 	// MemoryBytes reports the sink's storage footprint.
 	MemoryBytes() int64
+	// PeakMemoryBytes reports the storage high-water mark over the sink's
+	// lifetime, including grow transients where old and new slot arrays
+	// coexist. >= MemoryBytes; equal when no growth occurred.
+	PeakMemoryBytes() int64
 	// Drain returns all entries as parallel slices (unordered). Must not be
 	// called concurrently with AddFixed.
 	Drain() (us, vs []uint32, ws []float64)

@@ -130,3 +130,35 @@ func TestSinkIncrementalSharded(t *testing.T) {
 		}
 	}
 }
+
+// TestStatsPeakTableBytes: an undersized table hint forces growth during the
+// pass and the stats must expose the transient high-water mark (old + new
+// slot arrays = 1.5x the final footprint); a correctly presized pass never
+// grows, so peak and final agree.
+func TestStatsPeakTableBytes(t *testing.T) {
+	g := completeGraph(t, 40)
+	cfg := Config{T: 5, M: 20000, Seed: 9}
+
+	cfg.TableSizeHint = 1 // guaranteed undersized: forces repeated doubling
+	for _, shards := range []int{1, 4} {
+		cfg.Shards = shards
+		_, stats, err := Sample(g, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if stats.PeakTableBytes != stats.TableBytes*3/2 {
+			t.Fatalf("shards=%d: peak %d, want 1.5x final %d after growth",
+				shards, stats.PeakTableBytes, stats.TableBytes)
+		}
+	}
+
+	cfg.Shards = 1
+	cfg.TableSizeHint = 0 // derived estimate presizes generously
+	_, stats, err := Sample(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.PeakTableBytes != stats.TableBytes {
+		t.Fatalf("presized pass grew: peak %d != final %d", stats.PeakTableBytes, stats.TableBytes)
+	}
+}

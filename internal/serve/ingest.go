@@ -2,10 +2,14 @@ package serve
 
 import (
 	"context"
+	"errors"
 	"fmt"
+	"sync"
 	"sync/atomic"
+	"time"
 
 	"lightne/internal/dynamic"
+	"lightne/internal/faultinject"
 	"lightne/internal/graph"
 )
 
@@ -15,13 +19,47 @@ import (
 // each re-embedding is published to the Store as a fresh immutable
 // snapshot. Queries never block on ingestion — they keep reading the
 // previous snapshot until the atomic swap.
+//
+// Run is supervised: a failed batch application is retried with capped
+// exponential backoff (a full Refresh rebuild restores the embedder's
+// invariants between attempts, since a failed AddEdges may have recorded
+// arcs without their samples), and a batch whose retries are exhausted
+// escalates to a supervisor restart. After MaxRestarts the ingester enters
+// degraded mode: published snapshots stay live and queries keep being
+// answered, but new batches are dropped, Submit fails fast with
+// ErrDegraded, and Status/healthz/metrics report the degradation and its
+// reason. Degraded mode is terminal for the Run invocation (by design — it
+// signals a persistent fault that needs operator attention, not another
+// blind retry).
 type Ingester struct {
-	emb       *dynamic.Embedder
-	store     *Store
-	cfg       IngestConfig
-	batches   chan []graph.Edge
+	emb     *dynamic.Embedder
+	store   *Store
+	cfg     IngestConfig
+	hooks   faultinject.Hooks
+	batches chan []graph.Edge
+
 	published atomic.Int64
+	applied   atomic.Int64
+	dropped   atomic.Int64
+	retries   atomic.Int64
+	restarts  atomic.Int64
+	degraded  atomic.Bool
+
+	mu     sync.Mutex
+	reason string // why the ingester degraded; guarded by mu
 }
+
+// ErrDegraded is returned by Submit once the ingester has exceeded
+// MaxRestarts and stopped applying batches.
+var ErrDegraded = errors.New("serve: ingester degraded, batch not accepted")
+
+// Default supervision parameters (see IngestConfig).
+const (
+	DefaultMaxRetries  = 3
+	DefaultMaxRestarts = 3
+	DefaultBackoffBase = 50 * time.Millisecond
+	DefaultBackoffMax  = 5 * time.Second
+)
 
 // IngestConfig tunes the background ingestion loop.
 type IngestConfig struct {
@@ -34,6 +72,22 @@ type IngestConfig struct {
 	// QueueSize bounds the submit channel (default 16). Submit blocks when
 	// the queue is full, applying back-pressure to the write path.
 	QueueSize int
+	// MaxRetries is how many times a failed batch application is retried
+	// (refresh + re-apply with capped exponential backoff) before the
+	// failure escalates to a supervisor restart. Default DefaultMaxRetries;
+	// negative disables retries.
+	MaxRetries int
+	// MaxRestarts is how many supervisor restarts are tolerated before the
+	// ingester enters degraded mode. Default DefaultMaxRestarts; negative
+	// degrades on the first escalated failure.
+	MaxRestarts int
+	// BackoffBase is the first retry delay; each subsequent attempt doubles
+	// it, capped at BackoffMax. Defaults DefaultBackoffBase/DefaultBackoffMax.
+	BackoffBase time.Duration
+	BackoffMax  time.Duration
+	// Hooks injects faults for testing (nil = none). Fired at
+	// faultinject.IngestApply / IngestRefresh / IngestPublish.
+	Hooks faultinject.Hooks
 }
 
 // NewIngester wires an embedder to a store. Call Run in a goroutine, then
@@ -44,17 +98,41 @@ func NewIngester(emb *dynamic.Embedder, store *Store, cfg IngestConfig) *Ingeste
 	if qs <= 0 {
 		qs = 16
 	}
+	if cfg.MaxRetries == 0 {
+		cfg.MaxRetries = DefaultMaxRetries
+	}
+	if cfg.MaxRestarts == 0 {
+		cfg.MaxRestarts = DefaultMaxRestarts
+	}
+	if cfg.BackoffBase <= 0 {
+		cfg.BackoffBase = DefaultBackoffBase
+	}
+	if cfg.BackoffMax <= 0 {
+		cfg.BackoffMax = DefaultBackoffMax
+	}
 	return &Ingester{
 		emb:     emb,
 		store:   store,
 		cfg:     cfg,
+		hooks:   faultinject.OrNop(cfg.Hooks),
 		batches: make(chan []graph.Edge, qs),
 	}
 }
 
 // Submit queues an edge batch for ingestion, blocking when the queue is
 // full (back-pressure) or returning ctx's error when canceled first.
+//
+// Delivery guarantee: a batch accepted by Submit (nil return) is applied
+// and published before Run returns — including batches still queued when
+// Run's context is canceled, which are drained, applied, and published as
+// one final snapshot — unless applying it fails past the configured
+// retries, or the ingester enters degraded mode, in which case the batch
+// is counted in Status().BatchesDropped. Once degraded, Submit fails fast
+// with ErrDegraded instead of accepting batches that would be dropped.
 func (in *Ingester) Submit(ctx context.Context, batch []graph.Edge) error {
+	if in.degraded.Load() {
+		return ErrDegraded
+	}
 	select {
 	case in.batches <- batch:
 		return nil
@@ -66,8 +144,52 @@ func (in *Ingester) Submit(ctx context.Context, batch []graph.Edge) error {
 // Published reports how many snapshots the ingester has published.
 func (in *Ingester) Published() int64 { return in.published.Load() }
 
+// IngestStatus is a point-in-time view of the supervision state.
+type IngestStatus struct {
+	// State is "running" or "degraded".
+	State string
+	// Reason is the failure that forced degraded mode ("" while running).
+	Reason string
+	// Restarts counts supervisor restarts (escalated batch failures).
+	Restarts int64
+	// Retries counts per-batch recovery attempts (refresh + re-apply).
+	Retries int64
+	// Published counts snapshots published.
+	Published int64
+	// BatchesApplied counts batches successfully applied to the embedder.
+	BatchesApplied int64
+	// BatchesDropped counts accepted batches that were lost to exhausted
+	// retries, degraded mode, or a failing drain at shutdown.
+	BatchesDropped int64
+}
+
+// Degraded reports whether the ingester has entered degraded mode.
+func (in *Ingester) Degraded() bool { return in.degraded.Load() }
+
+// Status returns the current supervision counters.
+func (in *Ingester) Status() IngestStatus {
+	st := IngestStatus{
+		State:          "running",
+		Restarts:       in.restarts.Load(),
+		Retries:        in.retries.Load(),
+		Published:      in.published.Load(),
+		BatchesApplied: in.applied.Load(),
+		BatchesDropped: in.dropped.Load(),
+	}
+	if in.degraded.Load() {
+		st.State = "degraded"
+		in.mu.Lock()
+		st.Reason = in.reason
+		in.mu.Unlock()
+	}
+	return st
+}
+
 // PublishNow embeds the current graph state and publishes it.
 func (in *Ingester) PublishNow() error {
+	if err := in.hooks.Fire(faultinject.IngestPublish); err != nil {
+		return fmt.Errorf("serve: publishing snapshot: %w", err)
+	}
 	x, err := in.emb.Embed()
 	if err != nil {
 		return fmt.Errorf("serve: embedding for publish: %w", err)
@@ -81,42 +203,244 @@ func (in *Ingester) PublishNow() error {
 	return nil
 }
 
-// Run consumes submitted batches until ctx is canceled. Each iteration
-// drains every batch already queued (coalescing bursts into one
-// re-embedding), applies them to the embedder, resamples fully when the
-// staleness bound is exceeded, and publishes the refreshed snapshot.
-// Returns nil on cancellation, or the first ingestion error (the embedder
-// may be inconsistent after an error, so the loop stops).
+// addEdges applies one batch to the embedder (with fault injection).
+func (in *Ingester) addEdges(batch []graph.Edge) error {
+	if err := in.hooks.Fire(faultinject.IngestApply); err != nil {
+		return fmt.Errorf("serve: applying batch: %w", err)
+	}
+	if err := in.emb.AddEdges(batch); err != nil {
+		return fmt.Errorf("serve: applying batch: %w", err)
+	}
+	return nil
+}
+
+// refresh performs a full embedder rebuild (with fault injection).
+func (in *Ingester) refresh() error {
+	if err := in.hooks.Fire(faultinject.IngestRefresh); err != nil {
+		return fmt.Errorf("serve: refresh: %w", err)
+	}
+	if err := in.emb.Refresh(); err != nil {
+		return fmt.Errorf("serve: refresh: %w", err)
+	}
+	return nil
+}
+
+// backoff returns the capped exponential delay for the attempt-th retry
+// (attempt counts from 0).
+func (in *Ingester) backoff(attempt int) time.Duration {
+	d := in.cfg.BackoffBase
+	for i := 0; i < attempt && d < in.cfg.BackoffMax; i++ {
+		d *= 2
+	}
+	if d > in.cfg.BackoffMax {
+		d = in.cfg.BackoffMax
+	}
+	return d
+}
+
+// sleep waits for d or until ctx is canceled, reporting ctx's error when
+// canceled first.
+func sleep(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return nil
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+// applyBatch applies one batch, recovering from transient failures with
+// capped exponential backoff. A failed AddEdges may leave the embedder
+// inconsistent (arcs recorded without their samples), so every retry first
+// runs a full Refresh — which both restores the invariants and, when the
+// failed attempt had already recorded the batch's arcs, incorporates them —
+// then re-applies the batch (a no-op for arcs the refresh picked up).
+// Returns nil once the batch is in, ctx's error on cancellation mid-retry,
+// or the last failure when retries are exhausted.
+func (in *Ingester) applyBatch(ctx context.Context, batch []graph.Edge) error {
+	err := in.addEdges(batch)
+	if err == nil {
+		in.applied.Add(1)
+		return nil
+	}
+	for attempt := 0; attempt < in.cfg.MaxRetries; attempt++ {
+		in.retries.Add(1)
+		if serr := sleep(ctx, in.backoff(attempt)); serr != nil {
+			return serr
+		}
+		if rerr := in.refresh(); rerr != nil {
+			err = rerr
+			continue
+		}
+		if err = in.addEdges(batch); err == nil {
+			in.applied.Add(1)
+			return nil
+		}
+	}
+	return fmt.Errorf("serve: batch failed after %d retries: %w", in.cfg.MaxRetries, err)
+}
+
+// Run consumes submitted batches until ctx is canceled, supervising the
+// ingest loop as documented on Ingester. Each iteration drains every batch
+// already queued (coalescing bursts into one re-embedding), applies them,
+// resamples fully when the staleness bound is exceeded, and publishes the
+// refreshed snapshot. On cancellation the already-accepted queue is
+// drained, applied, and published before returning (see Submit for the
+// delivery guarantee).
+//
+// Run returns nil on cancellation — including after entering degraded
+// mode, where it keeps draining (and dropping) the queue so producers
+// blocked in Submit are released. It never returns a batch error.
 func (in *Ingester) Run(ctx context.Context) error {
+	for {
+		err := in.ingest(ctx)
+		if err == nil {
+			return nil // ctx canceled, queue drained
+		}
+		restarts := in.restarts.Add(1)
+		if restarts > int64(in.cfg.MaxRestarts) {
+			in.enterDegraded(err)
+			in.drainDropping(ctx)
+			return nil
+		}
+		// Brief pause so a persistently failing dependency isn't hammered;
+		// capped by the restart count.
+		if serr := sleep(ctx, in.backoff(int(restarts)-1)); serr != nil {
+			return nil
+		}
+	}
+}
+
+// ingest is one supervised incarnation of the consume loop. It returns nil
+// when ctx is canceled (after draining the queue) or the escalated error
+// when a batch fails past its retries.
+func (in *Ingester) ingest(ctx context.Context) error {
 	for {
 		var batch []graph.Edge
 		select {
 		case <-ctx.Done():
+			in.drainAndPublish()
 			return nil
 		case batch = <-in.batches:
 		}
-		if err := in.emb.AddEdges(batch); err != nil {
-			return fmt.Errorf("serve: applying batch: %w", err)
+		if err := in.applyBatch(ctx, batch); err != nil {
+			if ctx.Err() != nil {
+				in.dropped.Add(1)
+				in.drainAndPublish()
+				return nil
+			}
+			in.dropped.Add(1)
+			return err
 		}
 		// Coalesce: a burst of submissions becomes one factorization.
 	drain:
 		for {
 			select {
 			case more := <-in.batches:
-				if err := in.emb.AddEdges(more); err != nil {
-					return fmt.Errorf("serve: applying batch: %w", err)
+				if err := in.applyBatch(ctx, more); err != nil {
+					if ctx.Err() != nil {
+						in.dropped.Add(1)
+						in.drainAndPublish()
+						return nil
+					}
+					in.dropped.Add(1)
+					return err
 				}
 			default:
 				break drain
 			}
 		}
 		if in.cfg.MaxStaleness > 0 && in.emb.Staleness() > in.cfg.MaxStaleness {
-			if err := in.emb.Refresh(); err != nil {
-				return fmt.Errorf("serve: staleness refresh: %w", err)
+			if err := in.refresh(); err != nil {
+				return err
 			}
 		}
-		if err := in.PublishNow(); err != nil {
+		if err := in.publishWithRetry(ctx); err != nil {
+			if ctx.Err() != nil {
+				return nil
+			}
 			return err
+		}
+	}
+}
+
+// publishWithRetry publishes the current state, retrying transient
+// failures with the same capped backoff as batch application (no refresh —
+// a publish failure does not invalidate the embedder).
+func (in *Ingester) publishWithRetry(ctx context.Context) error {
+	err := in.PublishNow()
+	if err == nil {
+		return nil
+	}
+	for attempt := 0; attempt < in.cfg.MaxRetries; attempt++ {
+		in.retries.Add(1)
+		if serr := sleep(ctx, in.backoff(attempt)); serr != nil {
+			return serr
+		}
+		if err = in.PublishNow(); err == nil {
+			return nil
+		}
+	}
+	return fmt.Errorf("serve: publish failed after %d retries: %w", in.cfg.MaxRetries, err)
+}
+
+// drainAndPublish applies every batch already in the queue (best effort,
+// no retries — the process is shutting down) and publishes once if any
+// applied. Failures drop the remaining queue, counted in BatchesDropped.
+func (in *Ingester) drainAndPublish() {
+	applied := false
+	for {
+		select {
+		case batch := <-in.batches:
+			if err := in.addEdges(batch); err != nil {
+				in.dropped.Add(1)
+				continue
+			}
+			in.applied.Add(1)
+			applied = true
+		default:
+			if applied {
+				// Best effort: a failed final publish only loses recency,
+				// never a served snapshot.
+				_ = in.PublishNow()
+			}
+			return
+		}
+	}
+}
+
+// enterDegraded flips the ingester into degraded mode with the given cause.
+func (in *Ingester) enterDegraded(cause error) {
+	in.mu.Lock()
+	in.reason = cause.Error()
+	in.mu.Unlock()
+	in.degraded.Store(true)
+}
+
+// drainDropping consumes (and drops) queued batches until ctx is canceled,
+// so producers already blocked in Submit are released promptly after the
+// ingester degrades.
+func (in *Ingester) drainDropping(ctx context.Context) {
+	for {
+		select {
+		case <-ctx.Done():
+			// Anything still queued is dropped, not applied: the embedder is
+			// in an unknown state once degraded.
+			for {
+				select {
+				case <-in.batches:
+					in.dropped.Add(1)
+				default:
+					return
+				}
+			}
+		case <-in.batches:
+			in.dropped.Add(1)
 		}
 	}
 }

@@ -2,12 +2,14 @@ package serve
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
 	"sort"
 	"sync"
 	"sync/atomic"
+	"syscall"
 	"time"
 
 	"lightne/internal/rng"
@@ -31,6 +33,16 @@ type LoadConfig struct {
 	K int
 	// Seed makes the query stream reproducible.
 	Seed uint64
+	// Timeout bounds each individual request (default 30s; negative
+	// disables). The old hard-coded 30s made short-deadline runs against a
+	// stalled server impossible to bound.
+	Timeout time.Duration
+	// ConnectRetries is how many times a connection-refused failure retries
+	// (brief backoff between attempts) before counting as an error. Covers
+	// racing a server that has not finished binding its listener — the
+	// normal state when a load run starts alongside the server under test.
+	// Default 3; negative disables.
+	ConnectRetries int
 }
 
 // LoadReport summarizes a load run.
@@ -71,7 +83,19 @@ func RunLoad(ctx context.Context, baseURL string, cfg LoadConfig) (LoadReport, e
 	if k <= 0 {
 		k = DefaultK
 	}
-	client := &http.Client{Timeout: 30 * time.Second}
+	timeout := cfg.Timeout
+	if timeout == 0 {
+		timeout = 30 * time.Second
+	} else if timeout < 0 {
+		timeout = 0
+	}
+	connRetries := cfg.ConnectRetries
+	if connRetries == 0 {
+		connRetries = 3
+	} else if connRetries < 0 {
+		connRetries = 0
+	}
+	client := &http.Client{Timeout: timeout}
 	var remaining atomic.Int64
 	remaining.Store(int64(requests))
 	var issued, errs atomic.Int64
@@ -90,6 +114,10 @@ func RunLoad(ctx context.Context, baseURL string, cfg LoadConfig) (LoadReport, e
 				issued.Add(1)
 				t0 := time.Now()
 				resp, err := client.Get(url)
+				for attempt := 0; err != nil && attempt < connRetries && errors.Is(err, syscall.ECONNREFUSED) && ctx.Err() == nil; attempt++ {
+					time.Sleep(time.Duration(attempt+1) * 20 * time.Millisecond)
+					resp, err = client.Get(url)
+				}
 				if err != nil {
 					errs.Add(1)
 					continue

@@ -95,13 +95,23 @@ func (e *endpointStats) observe(d time.Duration, status int) {
 }
 
 // Metrics tracks per-endpoint request counters and latency distributions
-// plus snapshot gauges. The endpoint set is fixed at construction, so the
-// hot path never takes a map-write lock.
+// plus snapshot gauges, the middleware's panic/shed counters, and (when an
+// ingester is attached) ingestion supervision counters. The endpoint set
+// is fixed at construction, so the hot path never takes a map-write lock.
 type Metrics struct {
 	start     time.Time
 	store     *Store
 	endpoints map[string]*endpointStats
+	panics    atomic.Int64
+	shed      atomic.Int64
+	ingest    func() IngestStatus // nil unless an ingester is attached
 }
+
+// Panics reports how many handler panics the recovery middleware caught.
+func (m *Metrics) Panics() int64 { return m.panics.Load() }
+
+// Shed reports how many requests the concurrency limiter rejected.
+func (m *Metrics) Shed() int64 { return m.shed.Load() }
 
 // NewMetrics builds a metrics registry over the given endpoints, reading
 // snapshot gauges from store.
@@ -182,6 +192,34 @@ func (m *Metrics) WriteTo(w io.Writer) (int64, error) {
 		}
 		if err := emit("lightne_snapshot_bytes %d\n", snap.Index.MemoryBytes()); err != nil {
 			return n, err
+		}
+	}
+	if err := emit("lightne_panics_total %d\n", m.panics.Load()); err != nil {
+		return n, err
+	}
+	if err := emit("lightne_shed_total %d\n", m.shed.Load()); err != nil {
+		return n, err
+	}
+	if m.ingest != nil {
+		st := m.ingest()
+		degraded := 0
+		if st.State == "degraded" {
+			degraded = 1
+		}
+		for _, g := range []struct {
+			name string
+			v    int64
+		}{
+			{"lightne_ingest_degraded", int64(degraded)},
+			{"lightne_ingest_restarts_total", st.Restarts},
+			{"lightne_ingest_retries_total", st.Retries},
+			{"lightne_ingest_published_total", st.Published},
+			{"lightne_ingest_batches_applied_total", st.BatchesApplied},
+			{"lightne_ingest_batches_dropped_total", st.BatchesDropped},
+		} {
+			if err := emit("%s %d\n", g.name, g.v); err != nil {
+				return n, err
+			}
 		}
 	}
 	err := emit("lightne_uptime_seconds %g\n", time.Since(m.start).Seconds())

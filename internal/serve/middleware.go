@@ -1,0 +1,81 @@
+package serve
+
+import (
+	"context"
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// Request-hardening middleware. Three concerns, applied from the outside
+// in: panic recovery (a handler bug answers 500 and increments a counter
+// instead of killing the connection), per-request deadlines (the request
+// context carries a deadline so downstream work can stop early), and
+// concurrency-limit load shedding (beyond MaxInFlight concurrent requests,
+// excess queries answer 503 with Retry-After instead of queueing without
+// bound). Health and metrics endpoints are never shed — a load balancer
+// probing /healthz during an overload must see the server alive, not 503.
+
+// Limits configures the request-hardening middleware.
+type Limits struct {
+	// MaxInFlight caps concurrently executing query requests; excess
+	// requests are shed with 503 + Retry-After. <= 0 disables shedding.
+	MaxInFlight int
+	// RequestTimeout attaches a deadline to each query request's context.
+	// Brute-force scans already in progress are not preempted (they don't
+	// poll the context), but the deadline bounds any downstream waits and
+	// lets future pipelined stages stop early. <= 0 disables.
+	RequestTimeout time.Duration
+	// RetryAfter is the hint attached to shed responses (default 1s).
+	RetryAfter time.Duration
+}
+
+// recovered wraps h so a panic answers 500 (when headers are still
+// unsent) and bumps the panic counter, instead of unwinding into net/http
+// and dropping the connection.
+func (s *Server) recovered(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			if p := recover(); p != nil {
+				s.metrics.panics.Add(1)
+				// If the handler already wrote headers this is a no-op
+				// (net/http logs the superfluous write); the connection
+				// still completes instead of being torn down.
+				writeError(w, http.StatusInternalServerError, "internal error: %v", p)
+			}
+		}()
+		h(w, r)
+	}
+}
+
+// shedded wraps a query handler with the concurrency limiter and the
+// per-request deadline. Shed responses bypass the handler entirely.
+func (s *Server) shedded(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if s.inflight != nil {
+			select {
+			case s.inflight <- struct{}{}:
+				defer func() { <-s.inflight }()
+			default:
+				s.metrics.shed.Add(1)
+				retry := s.limits.RetryAfter
+				if retry <= 0 {
+					retry = time.Second
+				}
+				secs := int(retry / time.Second)
+				if secs < 1 {
+					secs = 1
+				}
+				w.Header().Set("Retry-After", strconv.Itoa(secs))
+				writeError(w, http.StatusServiceUnavailable, "server at concurrency limit (%d in flight)", s.limits.MaxInFlight)
+				return
+			}
+		}
+		if s.limits.RequestTimeout > 0 {
+			ctx, cancel := context.WithTimeout(r.Context(), s.limits.RequestTimeout)
+			defer cancel()
+			r = r.WithContext(ctx)
+		}
+		h(w, r)
+	}
+}

@@ -29,23 +29,60 @@ const MaxBatch = 1024
 // Server is the embedding-serving HTTP front end. All query endpoints read
 // the store's current snapshot with one atomic load; none of them lock.
 type Server struct {
-	store   *Store
-	metrics *Metrics
-	mux     *http.ServeMux
+	store    *Store
+	metrics  *Metrics
+	mux      *http.ServeMux
+	ingester *Ingester
+	limits   Limits
+	inflight chan struct{}
+}
+
+// Option configures optional Server behavior.
+type Option func(*Server)
+
+// WithIngester attaches the background ingester so /healthz reflects its
+// supervision state (degraded mode + reason) and /metrics exports its
+// restart/retry/drop counters.
+func WithIngester(in *Ingester) Option {
+	return func(s *Server) { s.ingester = in }
+}
+
+// WithLimits enables the request-hardening middleware (load shedding and
+// per-request deadlines) on the query endpoints.
+func WithLimits(l Limits) Option {
+	return func(s *Server) { s.limits = l }
 }
 
 // New builds a server over the given snapshot store.
-func New(store *Store) *Server {
+func New(store *Store, opts ...Option) *Server {
 	s := &Server{
 		store:   store,
 		metrics: NewMetrics(store, epNeighbors, epEmbedding, epBatch, epHealth, epMetrics),
 		mux:     http.NewServeMux(),
 	}
-	s.mux.HandleFunc("/v1/neighbors", s.instrument(epNeighbors, s.handleNeighbors))
-	s.mux.HandleFunc("GET /v1/embedding/{vertex}", s.instrument(epEmbedding, s.handleEmbedding))
-	s.mux.HandleFunc("POST /v1/batch", s.instrument(epBatch, s.handleBatch))
-	s.mux.HandleFunc("GET /healthz", s.instrument(epHealth, s.handleHealth))
-	s.mux.HandleFunc("GET /metrics", s.instrument(epMetrics, s.handleMetrics))
+	for _, opt := range opts {
+		opt(s)
+	}
+	if s.ingester != nil {
+		s.metrics.ingest = s.ingester.Status
+	}
+	if s.limits.MaxInFlight > 0 {
+		s.inflight = make(chan struct{}, s.limits.MaxInFlight)
+	}
+	// Query endpoints get the full chain (recovery → shedding/deadline →
+	// handler); health and metrics get recovery only, so probes are never
+	// shed.
+	query := func(name string, h http.HandlerFunc) http.HandlerFunc {
+		return s.instrument(name, s.recovered(s.shedded(h)))
+	}
+	always := func(name string, h http.HandlerFunc) http.HandlerFunc {
+		return s.instrument(name, s.recovered(h))
+	}
+	s.mux.HandleFunc("/v1/neighbors", query(epNeighbors, s.handleNeighbors))
+	s.mux.HandleFunc("GET /v1/embedding/{vertex}", query(epEmbedding, s.handleEmbedding))
+	s.mux.HandleFunc("POST /v1/batch", query(epBatch, s.handleBatch))
+	s.mux.HandleFunc("GET /healthz", always(epHealth, s.handleHealth))
+	s.mux.HandleFunc("GET /metrics", always(epMetrics, s.handleMetrics))
 	return s
 }
 
@@ -162,13 +199,19 @@ type EmbeddingResponse struct {
 	SnapshotVersion uint64    `json:"snapshot_version"`
 }
 
-// HealthResponse answers /healthz.
+// HealthResponse answers /healthz. Status is "loading" (no snapshot yet,
+// 503), "ok", or "degraded" (the attached ingester exceeded its restart
+// budget; the last snapshot is still served, so the response stays 200 —
+// degraded means "stale but alive", and a load balancer must not stop
+// routing reads to it).
 type HealthResponse struct {
 	Status          string  `json:"status"`
+	Reason          string  `json:"reason,omitempty"`
 	SnapshotVersion uint64  `json:"snapshot_version,omitempty"`
 	Vertices        int     `json:"vertices,omitempty"`
 	Dims            int     `json:"dims,omitempty"`
 	Staleness       float64 `json:"staleness"`
+	IngestRestarts  int64   `json:"ingest_restarts,omitempty"`
 }
 
 // snapshotOr503 loads the current snapshot, answering 503 when the store
@@ -309,13 +352,21 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusServiceUnavailable, HealthResponse{Status: "loading"})
 		return
 	}
-	writeJSON(w, http.StatusOK, HealthResponse{
+	h := HealthResponse{
 		Status:          "ok",
 		SnapshotVersion: snap.Version,
 		Vertices:        snap.Index.Rows(),
 		Dims:            snap.Index.Dims(),
 		Staleness:       snap.Staleness,
-	})
+	}
+	if s.ingester != nil {
+		if st := s.ingester.Status(); st.State == "degraded" {
+			h.Status = "degraded"
+			h.Reason = st.Reason
+			h.IngestRestarts = st.Restarts
+		}
+	}
+	writeJSON(w, http.StatusOK, h)
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {

@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"encoding/binary"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"math"
 	"strconv"
@@ -24,10 +25,16 @@ import (
 //
 //	v1 ("LNE1"): magic, rows, cols — written by seed releases; no version
 //	             field, so the format could never evolve. Still readable.
-//	v2 ("LNEB"): magic, version, rows, cols — current. The explicit
-//	             version lets readers (notably lightne-serve, which must
-//	             reject corrupt or foreign artifacts with a clear error)
-//	             distinguish "not an embedding" from "newer format".
+//	v2 ("LNEB"): magic, version, rows, cols. The explicit version lets
+//	             readers (notably lightne-serve, which must reject corrupt
+//	             or foreign artifacts with a clear error) distinguish
+//	             "not an embedding" from "newer format". Still readable.
+//	v3 ("LNEB"): v2 framing plus a CRC-32C (Castagnoli) trailer over
+//	             everything before it — current. The checksum is what makes
+//	             crash-safe checkpoints possible: a file torn by a kill
+//	             mid-write is detected on read instead of served. Writing
+//	             is done by WriteEmbeddingBinary (plain streams) and
+//	             WriteCheckpoint (atomic temp-file + fsync + rename).
 
 // embMagicV1 identifies the original version-less binary format ("LNE1").
 const embMagicV1 = 0x314e454c
@@ -36,7 +43,19 @@ const embMagicV1 = 0x314e454c
 const embMagic = 0x42454e4c
 
 // embVersion is the format version WriteEmbeddingBinary emits.
-const embVersion = 2
+const embVersion = 3
+
+// maxEmbedDims bounds the column count a binary header may declare
+// (embedding dimensions beyond this are implausible — the paper's runs top
+// out at a few hundred — and a hostile header must not size allocations).
+const maxEmbedDims = 1 << 20
+
+// maxEmbedElements bounds rows*cols from a binary header.
+const maxEmbedElements = 1 << 31
+
+// crcTable is the Castagnoli polynomial table shared by the v3 writer and
+// reader (hardware-accelerated on amd64/arm64).
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
 
 // WriteEmbeddingText writes the matrix as one row of "%.6g" values per line.
 func WriteEmbeddingText(w io.Writer, x *Matrix) error {
@@ -95,56 +114,112 @@ func ReadEmbeddingText(r io.Reader) (*Matrix, error) {
 	return dense.FromSlice(rows, cols, data), nil
 }
 
-// WriteEmbeddingBinary writes the matrix in the current (v2) binary format.
-func WriteEmbeddingBinary(w io.Writer, x *Matrix) error {
+// writeEmbeddingV3 streams the matrix in the v3 framing (header, data,
+// CRC-32C trailer) to w. mid, when non-nil, runs after roughly half the
+// data has been written and flushed — the fault-injection seam the
+// checkpoint writer uses to simulate a kill mid-write; its error aborts
+// the write, leaving a torn prefix with no trailer behind.
+func writeEmbeddingV3(w io.Writer, x *Matrix, mid func() error) error {
 	bw := bufio.NewWriter(w)
+	crc := crc32.New(crcTable)
+	out := io.MultiWriter(bw, crc)
 	var hdr [16]byte
 	binary.LittleEndian.PutUint32(hdr[0:], embMagic)
 	binary.LittleEndian.PutUint32(hdr[4:], embVersion)
 	binary.LittleEndian.PutUint32(hdr[8:], uint32(x.Rows))
 	binary.LittleEndian.PutUint32(hdr[12:], uint32(x.Cols))
-	if _, err := bw.Write(hdr[:]); err != nil {
+	if _, err := out.Write(hdr[:]); err != nil {
 		return err
 	}
+	half := len(x.Data) / 2
 	var buf [8]byte
-	for _, v := range x.Data {
+	for i, v := range x.Data {
+		if i == half && mid != nil {
+			if err := bw.Flush(); err != nil {
+				return err
+			}
+			if err := mid(); err != nil {
+				return err
+			}
+		}
 		binary.LittleEndian.PutUint64(buf[:], math.Float64bits(v))
-		if _, err := bw.Write(buf[:]); err != nil {
+		if _, err := out.Write(buf[:]); err != nil {
 			return err
 		}
+	}
+	var trailer [4]byte
+	binary.LittleEndian.PutUint32(trailer[:], crc.Sum32())
+	if _, err := bw.Write(trailer[:]); err != nil {
+		return err
 	}
 	return bw.Flush()
 }
 
+// WriteEmbeddingBinary writes the matrix in the current (v3, CRC-trailed)
+// binary format.
+func WriteEmbeddingBinary(w io.Writer, x *Matrix) error {
+	return writeEmbeddingV3(w, x, nil)
+}
+
 // ReadEmbeddingBinary reads a binary embedding, accepting the current
-// versioned format and the version-less v1 files written by seed releases.
+// CRC-trailed v3 format, the trailer-less v2, and the version-less v1
+// files written by seed releases.
 func ReadEmbeddingBinary(r io.Reader) (*Matrix, error) {
+	x, _, err := readEmbeddingBinary(r)
+	return x, err
+}
+
+// readEmbeddingBinary parses any supported binary framing and reports the
+// version it found (1, 2, or 3).
+func readEmbeddingBinary(r io.Reader) (*Matrix, int, error) {
 	br := bufio.NewReader(r)
+	crc := crc32.New(crcTable)
+	offset := int64(0)
+	// read pulls exactly len(buf) bytes, feeding the running checksum and
+	// tracking the byte offset for error context.
+	read := func(buf []byte, what string) error {
+		if _, err := io.ReadFull(br, buf); err != nil {
+			return fmt.Errorf("lightne: reading %s at byte offset %d: %w", what, offset, err)
+		}
+		crc.Write(buf)
+		offset += int64(len(buf))
+		return nil
+	}
+	version := 1
 	var word [4]byte
-	if _, err := io.ReadFull(br, word[:]); err != nil {
-		return nil, fmt.Errorf("lightne: reading header: %w", err)
+	if err := read(word[:], "header"); err != nil {
+		return nil, 0, err
 	}
 	switch binary.LittleEndian.Uint32(word[:]) {
 	case embMagic:
-		if _, err := io.ReadFull(br, word[:]); err != nil {
-			return nil, fmt.Errorf("lightne: reading version: %w", err)
+		if err := read(word[:], "version"); err != nil {
+			return nil, 0, err
 		}
-		if v := binary.LittleEndian.Uint32(word[:]); v != embVersion {
-			return nil, fmt.Errorf("lightne: unsupported embedding format version %d (this build reads version %d; written by a newer tool?)", v, embVersion)
+		v := binary.LittleEndian.Uint32(word[:])
+		if v != 2 && v != embVersion {
+			return nil, 0, fmt.Errorf("lightne: unsupported embedding format version %d (this build reads versions 1-%d; written by a newer tool?)", v, embVersion)
 		}
+		version = int(v)
 	case embMagicV1:
 		// Legacy header: rows and cols follow the magic directly.
 	default:
-		return nil, fmt.Errorf("lightne: not a LightNE embedding file (bad magic %q)", word[:])
+		return nil, 0, fmt.Errorf("lightne: not a LightNE embedding file (bad magic %q)", word[:])
 	}
 	var shape [8]byte
-	if _, err := io.ReadFull(br, shape[:]); err != nil {
-		return nil, fmt.Errorf("lightne: reading shape: %w", err)
+	if err := read(shape[:], "shape"); err != nil {
+		return nil, 0, err
 	}
+	// Validate the declared shape before any allocation: a truncated or
+	// hostile header must not size memory.
 	rows := int(binary.LittleEndian.Uint32(shape[0:]))
 	cols := int(binary.LittleEndian.Uint32(shape[4:]))
-	if rows < 0 || cols < 0 || (cols != 0 && rows > (1<<31)/cols) {
-		return nil, fmt.Errorf("lightne: implausible embedding shape %dx%d", rows, cols)
+	switch {
+	case rows <= 0 || cols <= 0:
+		return nil, 0, fmt.Errorf("lightne: implausible embedding shape %dx%d", rows, cols)
+	case cols > maxEmbedDims:
+		return nil, 0, fmt.Errorf("lightne: implausible embedding dimension %d (limit %d)", cols, maxEmbedDims)
+	case rows > maxEmbedElements/cols:
+		return nil, 0, fmt.Errorf("lightne: implausible embedding shape %dx%d (more than %d elements)", rows, cols, maxEmbedElements)
 	}
 	// Grow with the data actually present so a corrupt header cannot force
 	// a huge allocation.
@@ -156,12 +231,22 @@ func ReadEmbeddingBinary(r io.Reader) (*Matrix, error) {
 	data := make([]float64, 0, capHint)
 	var buf [8]byte
 	for i := 0; i < total; i++ {
-		if _, err := io.ReadFull(br, buf[:]); err != nil {
-			return nil, fmt.Errorf("lightne: truncated embedding data: %w", err)
+		if err := read(buf[:], fmt.Sprintf("element %d of %d", i, total)); err != nil {
+			return nil, 0, err
 		}
 		data = append(data, math.Float64frombits(binary.LittleEndian.Uint64(buf[:])))
 	}
-	return dense.FromSlice(rows, cols, data), nil
+	if version >= 3 {
+		sum := crc.Sum32()
+		var trailer [4]byte
+		if _, err := io.ReadFull(br, trailer[:]); err != nil {
+			return nil, 0, fmt.Errorf("lightne: reading checksum trailer at byte offset %d: %w", offset, err)
+		}
+		if got := binary.LittleEndian.Uint32(trailer[:]); got != sum {
+			return nil, 0, fmt.Errorf("lightne: embedding checksum mismatch (stored %08x, computed %08x): file corrupt or torn by an interrupted write", got, sum)
+		}
+	}
+	return dense.FromSlice(rows, cols, data), version, nil
 }
 
 // ReadEmbedding loads an embedding in either supported format, sniffing the

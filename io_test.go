@@ -85,6 +85,108 @@ func TestEmbeddingBinaryLegacyV1(t *testing.T) {
 	}
 }
 
+// TestEmbeddingBinaryLegacyV2 hand-crafts a v2 file (versioned header, no
+// CRC trailer) as pre-v3 releases wrote them; it must read back
+// byte-identically.
+func TestEmbeddingBinaryLegacyV2(t *testing.T) {
+	var buf bytes.Buffer
+	var hdr [16]byte
+	binary.LittleEndian.PutUint32(hdr[0:], 0x42454e4c) // "LNEB"
+	binary.LittleEndian.PutUint32(hdr[4:], 2)
+	binary.LittleEndian.PutUint32(hdr[8:], 2)
+	binary.LittleEndian.PutUint32(hdr[12:], 3)
+	buf.Write(hdr[:])
+	want := []float64{1.5, -2.25, math.Inf(1), 4, 5e-300, -0.0}
+	var w [8]byte
+	for _, v := range want {
+		binary.LittleEndian.PutUint64(w[:], math.Float64bits(v))
+		buf.Write(w[:])
+	}
+	for name, read := range map[string]func() (*lightne.Matrix, error){
+		"binary": func() (*lightne.Matrix, error) {
+			return lightne.ReadEmbeddingBinary(bytes.NewReader(buf.Bytes()))
+		},
+		"autodetect": func() (*lightne.Matrix, error) {
+			return lightne.ReadEmbedding(bytes.NewReader(buf.Bytes()))
+		},
+	} {
+		x, err := read()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if x.Rows != 2 || x.Cols != 3 {
+			t.Fatalf("%s: shape %dx%d", name, x.Rows, x.Cols)
+		}
+		for i, v := range want {
+			if math.Float64bits(x.Data[i]) != math.Float64bits(v) {
+				t.Fatalf("%s: index %d not bit-identical", name, i)
+			}
+		}
+	}
+}
+
+// TestEmbeddingBinaryV3ChecksumDetectsCorruption flips one data bit of a
+// current-format file and expects a checksum error rather than silent
+// acceptance.
+func TestEmbeddingBinaryV3ChecksumDetectsCorruption(t *testing.T) {
+	x := dense.NewMatrix(6, 4)
+	x.FillGaussian(33)
+	var buf bytes.Buffer
+	if err := lightne.WriteEmbeddingBinary(&buf, x); err != nil {
+		t.Fatal(err)
+	}
+	b := buf.Bytes()
+	b[20] ^= 0x01 // first data element
+	_, err := lightne.ReadEmbeddingBinary(bytes.NewReader(b))
+	if err == nil || !strings.Contains(err.Error(), "checksum mismatch") {
+		t.Fatalf("want checksum error, got %v", err)
+	}
+}
+
+// TestEmbeddingBinaryHostileHeaders: implausible shapes are rejected
+// before any allocation and short reads carry byte-offset context.
+func TestEmbeddingBinaryHostileHeaders(t *testing.T) {
+	mkHeader := func(rows, cols uint32) []byte {
+		var hdr [16]byte
+		binary.LittleEndian.PutUint32(hdr[0:], 0x42454e4c)
+		binary.LittleEndian.PutUint32(hdr[4:], 3)
+		binary.LittleEndian.PutUint32(hdr[8:], rows)
+		binary.LittleEndian.PutUint32(hdr[12:], cols)
+		return hdr[:]
+	}
+	cases := []struct {
+		name       string
+		rows, cols uint32
+		wantSub    string
+	}{
+		{"huge dims", 2, 1 << 21, "implausible embedding dimension"},
+		{"element overflow", 1 << 20, 1 << 13, "more than"},
+		{"rows at uint32 max", 1<<32 - 1, 1, "more than"},
+	}
+	for _, tc := range cases {
+		_, err := lightne.ReadEmbeddingBinary(bytes.NewReader(mkHeader(tc.rows, tc.cols)))
+		if err == nil || !strings.Contains(err.Error(), tc.wantSub) {
+			t.Errorf("%s: want %q error, got %v", tc.name, tc.wantSub, err)
+		}
+	}
+	// Truncation mid-data names the element and byte offset.
+	payload := append(mkHeader(4, 2), make([]byte, 3*8)...)
+	_, err := lightne.ReadEmbeddingBinary(bytes.NewReader(payload))
+	if err == nil || !strings.Contains(err.Error(), "element 3 of 8") || !strings.Contains(err.Error(), "byte offset 40") {
+		t.Fatalf("want element/offset context, got %v", err)
+	}
+	// A v3 file missing only its trailer is reported as such.
+	x := dense.NewMatrix(2, 2)
+	var buf bytes.Buffer
+	if err := lightne.WriteEmbeddingBinary(&buf, x); err != nil {
+		t.Fatal(err)
+	}
+	_, err = lightne.ReadEmbeddingBinary(bytes.NewReader(buf.Bytes()[:buf.Len()-4]))
+	if err == nil || !strings.Contains(err.Error(), "checksum trailer") {
+		t.Fatalf("want trailer error, got %v", err)
+	}
+}
+
 func TestEmbeddingBinaryUnsupportedVersion(t *testing.T) {
 	var buf bytes.Buffer
 	x := dense.NewMatrix(2, 2)
