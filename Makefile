@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: tier1 build test race vet bench bench-drain serve-bench check all
+.PHONY: tier1 build test race vet bench bench-drain bench-sample serve-bench check all
 
 all: tier1 vet
 
@@ -46,6 +46,14 @@ bench:
 # sort-merge COO build; pipe two runs into `benchstat old.txt new.txt`).
 bench-drain:
 	$(GO) test -run xxx -bench 'BenchmarkDrain|BenchmarkAggregate|BenchmarkGroupCSR|BenchmarkFromCOO' -benchmem -count=5 ./internal/hashtable ./internal/aggregate ./internal/radix ./internal/sparse
+
+# Sampler pipeline benchmarks: the per-arc sampler, the retained serial-flush
+# baseline, and the wave pipeline (single-table and sharded), then the
+# wall-clock runner that records ns/op, heads/s and the table's memory
+# high-water mark into BENCH_sampler.json.
+bench-sample:
+	$(GO) test -run xxx -bench 'BenchmarkSample$$|BenchmarkSampleSerialFlush|BenchmarkSampleBatched|BenchmarkSamplePipelined' -benchmem -count=3 ./internal/sampler
+	$(GO) run ./cmd/lightne-sampler-bench -out BENCH_sampler.json
 
 # Quick serving throughput/latency check (closed-loop load generator).
 serve-bench:

@@ -202,6 +202,91 @@ func (s *SharedTable) AddFixed(key, fixed uint64) {
 	s.shards[hashtable.ShardOf(key, s.shardBits)].AddFixed(key, fixed)
 }
 
+// shardPartGrain is the per-chunk length of the shard-partition counting and
+// scatter passes in AddFixedBatch.
+const shardPartGrain = 4096
+
+// addFixedBatchDirect is the unpartitioned fallback: route every pair to its
+// shard individually, in parallel chunks. Used for single-shard tables and
+// batches too small to amortize a partition pass.
+func (s *SharedTable) addFixedBatchDirect(keys, fixed []uint64) {
+	par.ForRange(len(keys), shardPartGrain/2, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			s.AddFixed(keys[i], fixed[i])
+		}
+	})
+}
+
+// AddFixedBatch accumulates every (key, fixed-point weight) pair. Large
+// batches are radix-partitioned on hashtable.ShardOf first — per-chunk shard
+// counts, a scan for stable offsets, and a scatter into shard-contiguous
+// scratch — so that each shard's inserts run on a single worker: the CAS/xadd
+// probes of different workers never touch the same shard and atomic
+// contention collapses to zero. Equivalent to calling AddFixed per pair
+// (accumulation is commutative), and safe for concurrent use with AddFixed.
+// len(keys) must equal len(fixed).
+func (s *SharedTable) AddFixedBatch(keys, fixed []uint64) {
+	if len(keys) != len(fixed) {
+		panic("aggregate: keys and fixed must have equal length")
+	}
+	n := len(keys)
+	nShards := len(s.shards)
+	if nShards == 1 {
+		s.shards[0].AddFixedBatch(keys, fixed)
+		return
+	}
+	if n < 4*shardPartGrain {
+		s.addFixedBatchDirect(keys, fixed)
+		return
+	}
+	bounds := par.Blocks(n, shardPartGrain)
+	nb := len(bounds) - 1
+	// counts[b*nShards+sh]: pairs in chunk b routed to shard sh.
+	counts := make([]int64, nb*nShards)
+	par.ForBlocks(bounds, func(b, lo, hi int) {
+		row := counts[b*nShards : (b+1)*nShards]
+		for i := lo; i < hi; i++ {
+			row[hashtable.ShardOf(keys[i], s.shardBits)]++
+		}
+	})
+	// Stable offsets, shard-major: shard sh's region is contiguous and chunk
+	// order is preserved within it.
+	offs := make([]int64, nShards*nb)
+	var total int64
+	for sh := 0; sh < nShards; sh++ {
+		for b := 0; b < nb; b++ {
+			offs[sh*nb+b] = total
+			total += counts[b*nShards+sh]
+		}
+	}
+	kbuf := make([]uint64, n)
+	fbuf := make([]uint64, n)
+	par.ForBlocks(bounds, func(b, lo, hi int) {
+		next := make([]int64, nShards)
+		for sh := 0; sh < nShards; sh++ {
+			next[sh] = offs[sh*nb+b]
+		}
+		for i := lo; i < hi; i++ {
+			sh := hashtable.ShardOf(keys[i], s.shardBits)
+			p := next[sh]
+			next[sh]++
+			kbuf[p] = keys[i]
+			fbuf[p] = fixed[i]
+		}
+	})
+	par.For(nShards, 1, func(sh int) {
+		lo := offs[sh*nb]
+		hi := total
+		if sh+1 < nShards {
+			hi = offs[(sh+1)*nb]
+		}
+		t := s.shards[sh]
+		for i := lo; i < hi; i++ {
+			t.AddFixed(kbuf[i], fbuf[i])
+		}
+	})
+}
+
 // Get returns the accumulated weight for (u, v) and whether it is present.
 // Safe for concurrent use with Add.
 func (s *SharedTable) Get(u, v uint32) (float64, bool) {

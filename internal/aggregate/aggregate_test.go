@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"lightne/internal/hashtable"
+	"lightne/internal/rng"
 )
 
 // drainMap converts a Drain result into a key→weight map for comparison.
@@ -257,6 +258,40 @@ func TestShardedDrainCSRPartialMultiset(t *testing.T) {
 		for i, p := 0, lo; p < hi; i, p = i+1, p+1 {
 			if got[i].c != fullCols[p] || got[i].w != fullWs[p] {
 				t.Fatalf("row %d entry %d mismatch", r, i)
+			}
+		}
+	}
+}
+
+// TestSharedTableAddFixedBatchBitIdentical: the shard-partitioned bulk insert
+// must be bit-identical to routing every pair through AddFixed, on both the
+// partition path (large batches) and the direct fallback (small batches).
+func TestSharedTableAddFixedBatchBitIdentical(t *testing.T) {
+	s := rng.New(9, 0)
+	for _, n := range []int{100, 1000, 5 * shardPartGrain} { // direct and partitioned
+		keys := make([]uint64, n)
+		fixed := make([]uint64, n)
+		for i := range keys {
+			keys[i] = hashtable.Key(uint32(s.Intn(600)), uint32(s.Intn(600)))
+			fixed[i] = uint64(1 + s.Intn(1<<18))
+		}
+		for _, shards := range []int{1, 4} {
+			ref := NewShardedTable(2*n, shards)
+			for i := range keys {
+				ref.AddFixed(keys[i], fixed[i])
+			}
+			batch := NewShardedTable(16, shards) // tiny hint: shards grow mid-batch
+			batch.AddFixedBatch(keys, fixed)
+			if batch.Len() != ref.Len() {
+				t.Fatalf("n=%d shards=%d: distinct %d want %d", n, shards, batch.Len(), ref.Len())
+			}
+			us, vs, ws := ref.Drain()
+			got := drainMap(batch.Drain())
+			for i := range us {
+				k := hashtable.Key(us[i], vs[i])
+				if got[k] != ws[i] {
+					t.Fatalf("n=%d shards=%d key %d: batch %v want %v", n, shards, k, got[k], ws[i])
+				}
 			}
 		}
 	}

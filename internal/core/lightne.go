@@ -50,6 +50,12 @@ type Config struct {
 	// BatchedWalks selects the radix-batched walk schedule (paper §4.2
 	// future work); unweighted graphs only.
 	BatchedWalks bool
+	// WaveSize caps the in-flight heads per wave of the batched walker's
+	// enumerate→walk→drain pipeline; <= 0 picks the maximum (2^22). Only
+	// meaningful with BatchedWalks. The embedding is bit-identical for
+	// every setting — the knob trades walk-state footprint against
+	// pipeline overlap granularity.
+	WaveSize int
 	// Shards splits the sample-aggregation table across a power of two of
 	// sub-tables routed by high hash bits; <= 1 keeps the single shared
 	// table. The sparsifier (and hence the embedding) is bit-identical for
@@ -134,6 +140,7 @@ func Embed(g *graph.Graph, cfg Config) (*Result, error) {
 		Oversample:   cfg.Oversample,
 		PowerIters:   cfg.PowerIters,
 		BatchedWalks: cfg.BatchedWalks,
+		WaveSize:     cfg.WaveSize,
 		Shards:       cfg.Shards,
 	})
 	if err != nil {

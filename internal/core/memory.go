@@ -17,9 +17,20 @@ type MemoryEstimate struct {
 	Trials int64
 	// ExpectedHeads is E[# samples surviving the downsampling coin].
 	ExpectedHeads int64
-	// TableBytes is the hash-table footprint at 7/8 load (power-of-two
-	// slots, 16 bytes each, two oriented keys per head upper bound).
+	// TableBytes is the steady-state hash-table footprint at 7/8 load
+	// (power-of-two slots, 16 bytes each, two oriented keys per head upper
+	// bound).
 	TableBytes int64
+	// PeakTableBytes is the table's high-water mark including the grow
+	// transient: while a badly-hinted table rehashes to its final capacity,
+	// the old half-size slot arrays coexist with the new ones, so the true
+	// peak is 1.5x the post-grow footprint (sampler.Stats.PeakTableBytes
+	// reports the realized counterpart). Total budgets this, not
+	// TableBytes, so the plan stays honest when the size hint is wrong.
+	PeakTableBytes int64
+	// WalkBufferBytes is the batched walker's pipeline scratch (head
+	// records plus wave state/drain buffers); zero unless BatchedWalks.
+	WalkBufferBytes int64
 	// SparsifierBytes is the CSR holding the drained, trunc-logged matrix.
 	SparsifierBytes int64
 	// DenseBytes covers the randomized-SVD sketch matrices and the
@@ -30,9 +41,11 @@ type MemoryEstimate struct {
 }
 
 // Total sums all components. Table and sparsifier coexist briefly during
-// the drain, so the sum is the honest peak.
+// the drain, so the sum is the honest peak; the table contributes its
+// grow-transient high-water mark (PeakTableBytes), not the steady state,
+// so a run whose size hint was wrong still fits the reported budget.
 func (m MemoryEstimate) Total() int64 {
-	return m.TableBytes + m.SparsifierBytes + m.DenseBytes + m.GraphBytes
+	return m.PeakTableBytes + m.WalkBufferBytes + m.SparsifierBytes + m.DenseBytes + m.GraphBytes
 }
 
 // expectedHeadFraction computes E[p_e] over directed arcs for the config's
@@ -90,8 +103,26 @@ func EstimateMemory(g *graph.Graph, cfg Config) (MemoryEstimate, error) {
 		Trials:          m,
 		ExpectedHeads:   heads,
 		TableBytes:      slots * 16,
+		PeakTableBytes:  slots * 16 * 3 / 2,
 		SparsifierBytes: entries*12 + int64(g.NumVertices()+1)*8,
 		GraphBytes:      g.SizeBytes(),
+	}
+	if cfg.BatchedWalks {
+		// Stage-1 head records (24 B each) plus the per-wave buffers: walk
+		// states + compaction scratch (2 x 2w x 8 B) and the drain's oriented
+		// key/weight pairs (2 x 2w x 8 B), where w heads are in flight; a
+		// sharded sink's partition scratch adds one more pair of 2w arrays.
+		wave := int64(cfg.WaveSize)
+		if wave <= 0 || wave > 1<<22 {
+			wave = 1 << 22
+		}
+		if wave > heads {
+			wave = heads
+		}
+		est.WalkBufferBytes = 24*heads + 64*wave
+		if cfg.Shards > 1 {
+			est.WalkBufferBytes += 32 * wave
+		}
 	}
 	// Randomized SVD keeps ~5 dense n×k float64 matrices (O, Y, B, Z and a
 	// temporary); propagation keeps ~4 n×d.

@@ -5,6 +5,7 @@ import (
 
 	"lightne/internal/gen"
 	"lightne/internal/netsmf"
+	"lightne/internal/sampler"
 )
 
 func TestEstimateMemoryBracketsReality(t *testing.T) {
@@ -40,6 +41,106 @@ func TestEstimateMemoryBracketsReality(t *testing.T) {
 	}
 	if est.Total() <= 0 || est.GraphBytes <= 0 || est.DenseBytes <= 0 {
 		t.Fatalf("incomplete estimate: %+v", est)
+	}
+}
+
+// TestPeakBudgetCoversBadlyHintedRun locks down the planner's grow-transient
+// semantics: Total budgets PeakTableBytes (1.5x the steady-state table, the
+// old-plus-new slot arrays that coexist mid-rehash), so even a run whose
+// table hint is absurdly wrong — forcing a full chain of doubling grows —
+// must stay within the reported figure, as measured by the realized
+// sampler.Stats.PeakTableBytes high-water mark.
+func TestPeakBudgetCoversBadlyHintedRun(t *testing.T) {
+	g, _, err := gen.SBM(gen.SBMConfig{N: 1200, Communities: 5, PIn: 0.05, POut: 0.003, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig(16)
+	cfg.T = 5
+	cfg.SampleMultiple = 2
+	est, err := EstimateMemory(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.PeakTableBytes != est.TableBytes*3/2 {
+		t.Fatalf("peak %d is not 1.5x steady state %d", est.PeakTableBytes, est.TableBytes)
+	}
+	if est.Total() < est.PeakTableBytes {
+		t.Fatal("Total must include the grow transient")
+	}
+	for _, tc := range []struct {
+		name   string
+		shards int
+		run    func(scfg sampler.Config) (sampler.Stats, error)
+	}{
+		{"plain/shards=1", 1, func(scfg sampler.Config) (sampler.Stats, error) {
+			_, stats, err := sampler.Sample(g, scfg)
+			return stats, err
+		}},
+		{"plain/shards=4", 4, func(scfg sampler.Config) (sampler.Stats, error) {
+			_, stats, err := sampler.Sample(g, scfg)
+			return stats, err
+		}},
+		{"batched/shards=4", 4, func(scfg sampler.Config) (sampler.Stats, error) {
+			_, stats, err := sampler.SampleBatched(g, scfg, 0)
+			return stats, err
+		}},
+	} {
+		scfg := sampler.Config{
+			T: cfg.T, M: est.Trials, Downsample: true, Seed: 3,
+			TableSizeHint: 16, // absurd: forces a grow chain to the real size
+			Shards:        tc.shards,
+		}
+		stats, err := tc.run(scfg)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if stats.PeakTableBytes <= stats.TableBytes {
+			t.Fatalf("%s: hint did not force a grow (peak %d, steady %d)",
+				tc.name, stats.PeakTableBytes, stats.TableBytes)
+		}
+		if stats.PeakTableBytes > est.PeakTableBytes {
+			t.Fatalf("%s: realized peak %d exceeds budgeted peak %d",
+				tc.name, stats.PeakTableBytes, est.PeakTableBytes)
+		}
+	}
+}
+
+// TestEstimateMemoryBatchedWalkBuffer checks the batched-mode pipeline
+// scratch is budgeted (and only then).
+func TestEstimateMemoryBatchedWalkBuffer(t *testing.T) {
+	g, _, err := gen.SBM(gen.SBMConfig{N: 600, Communities: 4, PIn: 0.06, POut: 0.004, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig(16)
+	plain, err := EstimateMemory(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.WalkBufferBytes != 0 {
+		t.Fatalf("plain mode budgets walk buffers: %d", plain.WalkBufferBytes)
+	}
+	cfg.BatchedWalks = true
+	batched, err := EstimateMemory(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if batched.WalkBufferBytes < 24*batched.ExpectedHeads {
+		t.Fatalf("walk buffer %d smaller than the head records alone (%d heads)",
+			batched.WalkBufferBytes, batched.ExpectedHeads)
+	}
+	if batched.Total() <= plain.Total() {
+		t.Fatal("batched mode must budget strictly more than plain")
+	}
+	// A smaller wave caps the per-wave buffers.
+	cfg.WaveSize = 1024
+	smallWave, err := EstimateMemory(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if smallWave.WalkBufferBytes > batched.WalkBufferBytes {
+		t.Fatal("shrinking the wave must not enlarge the buffer budget")
 	}
 }
 

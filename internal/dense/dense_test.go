@@ -2,6 +2,7 @@ package dense
 
 import (
 	"math"
+	"runtime"
 	"testing"
 	"testing/quick"
 
@@ -274,6 +275,58 @@ func TestColumnNorms(t *testing.T) {
 	norms := a.ColumnNorms()
 	if math.Abs(norms[0]-5) > 1e-12 || math.Abs(norms[1]-math.Sqrt2) > 1e-12 {
 		t.Fatalf("norms=%v", norms)
+	}
+}
+
+// TestMaxAbsMatchesSequential: the parallel block-reduce must return exactly
+// the sequential maximum (max is order-independent), for shapes spanning the
+// sequential fallback and the multi-block path, at several worker counts.
+func TestMaxAbsMatchesSequential(t *testing.T) {
+	shapes := [][2]int{{0, 0}, {1, 1}, {3, 7}, {200, 40}, {5000, 17}}
+	for _, procs := range []int{1, 4} {
+		old := runtime.GOMAXPROCS(procs)
+		for si, sh := range shapes {
+			m := randomMatrix(sh[0], sh[1], uint64(100+si))
+			var want float64
+			for _, v := range m.Data {
+				if a := math.Abs(v); a > want {
+					want = a
+				}
+			}
+			if got := m.MaxAbs(); got != want {
+				t.Errorf("procs=%d %dx%d: MaxAbs=%g want %g", procs, sh[0], sh[1], got, want)
+			}
+		}
+		runtime.GOMAXPROCS(old)
+	}
+}
+
+// TestColumnNormsMatchesSequential: the parallel block-reduce must agree
+// with the straightforward sequential accumulation to float tolerance, for
+// shapes spanning the single-block and multi-block paths, at several worker
+// counts.
+func TestColumnNormsMatchesSequential(t *testing.T) {
+	shapes := [][2]int{{1, 1}, {7, 3}, {300, 64}, {5000, 5}}
+	for _, procs := range []int{1, 4} {
+		old := runtime.GOMAXPROCS(procs)
+		for si, sh := range shapes {
+			m := randomMatrix(sh[0], sh[1], uint64(200+si))
+			want := make([]float64, sh[1])
+			for i := 0; i < sh[0]; i++ {
+				row := m.Row(i)
+				for j, v := range row {
+					want[j] += v * v
+				}
+			}
+			got := m.ColumnNorms()
+			for j := range want {
+				ref := math.Sqrt(want[j])
+				if math.Abs(got[j]-ref) > 1e-12*(1+ref) {
+					t.Errorf("procs=%d %dx%d col %d: %g want %g", procs, sh[0], sh[1], j, got[j], ref)
+				}
+			}
+		}
+		runtime.GOMAXPROCS(old)
 	}
 }
 

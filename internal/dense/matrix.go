@@ -88,14 +88,12 @@ func (m *Matrix) FrobeniusNorm() float64 {
 }
 
 // MaxAbs returns the largest absolute element value (0 for empty matrices).
+// Parallel block-reduce; max is order-independent, so the result is exactly
+// the sequential answer for every worker count.
 func (m *Matrix) MaxAbs() float64 {
-	var best float64
-	for _, v := range m.Data {
-		if a := math.Abs(v); a > best {
-			best = a
-		}
-	}
-	return best
+	return par.MaxFloat64(len(m.Data), 1<<14, 0, func(i int) float64 {
+		return math.Abs(m.Data[i])
+	})
 }
 
 // FillGaussian fills m with independent N(0,1) draws. Rows use distinct RNG
@@ -180,13 +178,31 @@ func MatMulATB(c, a, b *Matrix) {
 	}
 }
 
-// ColumnNorms returns the Euclidean norm of every column.
+// ColumnNorms returns the Euclidean norm of every column. Parallel
+// block-reduce over row blocks with per-block partial sum vectors combined
+// in block order, so the result is deterministic for a fixed geometry (it
+// matches the sequential accumulation to float rounding, not bitwise).
 func (m *Matrix) ColumnNorms() []float64 {
 	sums := make([]float64, m.Cols)
-	for i := 0; i < m.Rows; i++ {
-		row := m.Row(i)
-		for j, v := range row {
-			sums[j] += v * v
+	if m.Cols == 0 {
+		return sums
+	}
+	bounds := par.Blocks(m.Rows, 1<<14/m.Cols+1)
+	nb := len(bounds) - 1
+	partials := make([][]float64, nb)
+	par.ForBlocks(bounds, func(b, lo, hi int) {
+		local := make([]float64, m.Cols)
+		for i := lo; i < hi; i++ {
+			row := m.Row(i)
+			for j, v := range row {
+				local[j] += v * v
+			}
+		}
+		partials[b] = local
+	})
+	for _, local := range partials {
+		for j, v := range local {
+			sums[j] += v
 		}
 	}
 	for j := range sums {

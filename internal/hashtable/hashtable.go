@@ -147,6 +147,28 @@ func (t *Table) AddFixed(key, fixed uint64) {
 	}
 }
 
+// batchGrain is the per-chunk insert count for AddFixedBatch. Inserts are
+// memory-bound random probes, so chunks stay small enough to keep all
+// workers busy on modest batches.
+const batchGrain = 2048
+
+// AddFixedBatch accumulates every (key, fixed-point weight) pair,
+// parallelizing the inserts over chunks of the batch. Equivalent to calling
+// AddFixed for each pair — accumulation is commutative, so the result is
+// independent of chunk geometry. Safe for concurrent use with AddFixed
+// (inserts are lock-free; a grow triggered mid-batch stalls and retries
+// exactly as single inserts do). len(keys) must equal len(fixed).
+func (t *Table) AddFixedBatch(keys, fixed []uint64) {
+	if len(keys) != len(fixed) {
+		panic("hashtable: keys and fixed must have equal length")
+	}
+	par.ForRange(len(keys), batchGrain, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			t.AddFixed(keys[i], fixed[i])
+		}
+	})
+}
+
 // tryAdd attempts a lock-free insert-or-accumulate. It reports false if the
 // table is at its load limit (the caller must grow and retry).
 func (t *Table) tryAdd(key, fixed uint64) bool {

@@ -572,3 +572,44 @@ func TestPeakMemoryBytesConcurrent(t *testing.T) {
 		t.Fatalf("peak %d, want at least 1.5x current %d after growth", peak, cur)
 	}
 }
+
+// TestAddFixedBatchMatchesSerial: the parallel batch insert must accumulate
+// exactly what the equivalent AddFixed loop does, including when a tiny
+// initial table forces grows mid-batch.
+func TestAddFixedBatchMatchesSerial(t *testing.T) {
+	s := rng.New(123, 0)
+	const n = 50000
+	keys := make([]uint64, n)
+	fixed := make([]uint64, n)
+	for i := range keys {
+		keys[i] = Key(uint32(s.Intn(800)), uint32(s.Intn(800)))
+		fixed[i] = uint64(1 + s.Intn(1<<20))
+	}
+	for _, hint := range []int{2 * n, 4} { // presized and grow-forcing
+		ref := New(2 * n)
+		for i := range keys {
+			ref.AddFixed(keys[i], fixed[i])
+		}
+		batch := New(hint)
+		batch.AddFixedBatch(keys, fixed)
+		if batch.Len() != ref.Len() {
+			t.Fatalf("hint=%d: distinct %d want %d", hint, batch.Len(), ref.Len())
+		}
+		us, vs, ws := ref.Drain()
+		for i := range us {
+			got, ok := batch.Get(us[i], vs[i])
+			if !ok || got != ws[i] { // fixed-point accumulation is exact
+				t.Fatalf("hint=%d: key (%d,%d): batch %v want %v", hint, us[i], vs[i], got, ws[i])
+			}
+		}
+	}
+}
+
+func TestAddFixedBatchPanicsOnLengthMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for mismatched lengths")
+		}
+	}()
+	New(8).AddFixedBatch(make([]uint64, 3), make([]uint64, 2))
+}

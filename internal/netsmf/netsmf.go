@@ -60,6 +60,10 @@ type Config struct {
 	// locality optimization the paper names as future work (§4.2).
 	// Unweighted graphs only.
 	BatchedWalks bool
+	// WaveSize caps the in-flight heads per wave of the batched walker's
+	// pipeline; <= 0 picks the maximum (2^22). Only meaningful with
+	// BatchedWalks; the sparsifier is bit-identical for every setting.
+	WaveSize int
 	// Shards splits the sample-aggregation table across a power of two of
 	// sub-tables (see sampler.Config.Shards); <= 1 keeps one shared table.
 	// The sparsifier is bit-identical for every setting.
@@ -124,7 +128,7 @@ func Sparsifier(g *graph.Graph, cfg Config) (*sparse.CSR, sampler.Stats, error) 
 	var stats sampler.Stats
 	var err error
 	if cfg.BatchedWalks {
-		table, stats, err = sampler.SampleBatched(g, scfg, 0)
+		table, stats, err = sampler.SampleBatched(g, scfg, cfg.WaveSize)
 	} else {
 		table, stats, err = sampler.Sample(g, scfg)
 	}

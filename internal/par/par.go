@@ -282,6 +282,31 @@ func MaxInt64(n, grain int, identity int64, f func(i int) int64) int64 {
 	return best
 }
 
+// MaxFloat64 computes the maximum of f(i) for i in [0, n) in parallel.
+// It returns the provided identity when n <= 0. Max is order-independent,
+// so the result is exact and schedule-independent (unlike float sums).
+func MaxFloat64(n, grain int, identity float64, f func(i int) float64) float64 {
+	if n <= 0 {
+		return identity
+	}
+	var mu sync.Mutex
+	best := identity
+	ForRange(n, grain, func(lo, hi int) {
+		local := identity
+		for i := lo; i < hi; i++ {
+			if v := f(i); v > local {
+				local = v
+			}
+		}
+		mu.Lock()
+		if local > best {
+			best = local
+		}
+		mu.Unlock()
+	})
+	return best
+}
+
 // scanGrain is the minimum per-block length for the parallel scan. Prefix
 // sums are memory-bound, so blocks are kept larger than DefaultGrain to make
 // the two passes worth their scheduling overhead.

@@ -313,3 +313,42 @@ func TestParallelPathsUnderRaisedGOMAXPROCS(t *testing.T) {
 		t.Fatal("parallel Do incomplete")
 	}
 }
+
+// TestMaxFloat64MatchesSequential: the parallel max must equal the serial
+// fold exactly for every geometry — max is order-independent.
+func TestMaxFloat64MatchesSequential(t *testing.T) {
+	vals := make([]float64, 100001)
+	x := 1.0
+	for i := range vals {
+		x = math.Mod(x*1.3+0.7, 1000) // deterministic, sign-varying
+		vals[i] = x - 500
+	}
+	for _, n := range []int{0, 1, 7, 1000, len(vals)} {
+		for _, grain := range []int{1, 64, 1 << 14} {
+			for _, procs := range []int{1, 4} {
+				prev := runtime.GOMAXPROCS(procs)
+				want := math.Inf(-1)
+				for i := 0; i < n; i++ {
+					if vals[i] > want {
+						want = vals[i]
+					}
+				}
+				if n == 0 {
+					want = math.Inf(-1)
+				}
+				got := MaxFloat64(n, grain, math.Inf(-1), func(i int) float64 { return vals[i] })
+				runtime.GOMAXPROCS(prev)
+				if got != want {
+					t.Fatalf("n=%d grain=%d procs=%d: got %v want %v", n, grain, procs, got, want)
+				}
+			}
+		}
+	}
+	// The identity floors the result for empty and all-smaller inputs.
+	if got := MaxFloat64(0, 16, 42, func(int) float64 { return 0 }); got != 42 {
+		t.Fatalf("empty: got %v want identity 42", got)
+	}
+	if got := MaxFloat64(10, 4, 42, func(i int) float64 { return float64(i) }); got != 42 {
+		t.Fatalf("identity dominates: got %v want 42", got)
+	}
+}

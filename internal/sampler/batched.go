@@ -4,10 +4,6 @@ import (
 	"fmt"
 
 	"lightne/internal/graph"
-	"lightne/internal/hashtable"
-	"lightne/internal/par"
-	"lightne/internal/radix"
-	"lightne/internal/rng"
 )
 
 // Batched walking — the locality optimization the paper names as future
@@ -16,14 +12,29 @@ import (
 //
 // SampleBatched draws the same trial distribution as Sample but advances
 // all in-flight walks in lock step: between steps the walk states are
-// radix-sorted by their current vertex, so each step scans vertices in
+// radix-grouped by their current vertex, so each step scans vertices in
 // order and every walk positioned at a vertex consumes its adjacency while
 // it is cache-hot — sequential reads instead of Sample's random reads.
-// The output is distributionally identical to Sample (verified by the
-// tests) though not bitwise identical, since draws happen in a different
-// order.
 //
-// Walk states pack into one uint64 so the radix sorter is the only data
+// The pass runs as a three-stage pipeline (see DESIGN.md "Wave pipeline"):
+//
+//	enumerate ──► wave walking ──► sink insertion
+//	(parallel      (parallel        (parallel, overlapped
+//	 count/scan/    advance +        with the NEXT wave's
+//	 fill)          compaction)      walking)
+//
+// Stage 1 (enumerate.go) generates every head up front with per-vertex RNG
+// streams and count/scan/fill over vertex blocks, so the trial distribution
+// and per-head weights are identical to a serial enumeration. Stage 2
+// (wave.go) advances one wave of walks at a time, all states in lock step.
+// Stage 3 (drain.go) inserts a finished wave's (e0, e1, fixed) heads into
+// the Sink concurrently with the walker advancing the next wave — the
+// double-buffered overlap that keeps the machine busy end to end. Walk
+// steps draw from streams keyed by (global head, side, step), which makes
+// the output a pure function of (graph, config): bit-identical across
+// waveSize, Shards and GOMAXPROCS once drained through DrainCSR.
+//
+// Walk states pack into one uint64 so the radix grouping is the only data
 // movement:
 //
 //	cur(32) | steps(9) | side(1) | head(22)
@@ -47,17 +58,25 @@ func packState(cur uint32, steps int, side int, head int) uint64 {
 		uint64(head)
 }
 
-// head metadata per wave entry.
-type waveHead struct {
-	fixed uint64 // importance weight, fixed point
-	e0    uint32 // endpoints (filled as walks finish)
-	e1    uint32
+// stateTombstone marks a finished walk state awaiting compaction.
+const stateTombstone = ^uint64(0)
+
+// headRec is one enumerated walk head: the arc it was drawn from, the split
+// walk lengths, and the importance weight it deposits. The endpoint fields
+// double as storage — enumeration writes the arc (u, v), and the wave
+// overwrites them with the walk's final endpoints before the drain reads
+// them. 24 bytes per head.
+type headRec struct {
+	fixed  uint64 // importance weight 1/p_e, fixed point
+	e0, e1 uint32 // arc (u, v) at enumeration; walk endpoints after the wave
+	s0, s1 uint16 // remaining steps on each side: s and r-1-s
 }
 
 // SampleBatched runs the downsampled PathSampling pass with radix-batched
-// walks. Unweighted graphs only (the walk batching assumes uniform
-// neighbor draws). waveSize caps concurrently in-flight heads; <= 0 picks
-// a default.
+// walks and the wave pipeline. Unweighted graphs only (the walk batching
+// assumes uniform neighbor draws). waveSize caps concurrently in-flight
+// heads; <= 0 picks the maximum (2^22). The drained aggregate is
+// bit-identical for every waveSize, shard count and worker count.
 func SampleBatched(g *graph.Graph, cfg Config, waveSize int) (Sink, Stats, error) {
 	if cfg.T <= 0 || cfg.T > 512 {
 		return nil, Stats{}, fmt.Errorf("sampler: batched walking requires 1 <= T <= 512, got %d", cfg.T)
@@ -74,82 +93,18 @@ func SampleBatched(g *graph.Graph, cfg Config, waveSize int) (Sink, Stats, error
 	if waveSize <= 0 || waveSize > maxWaveHeads {
 		waveSize = maxWaveHeads
 	}
-	c := downsampleConstant(g, cfg)
 
+	heads, stats := enumerateHeads(g, cfg)
+
+	// Presize from the realized head count — known exactly after stage 1,
+	// unlike Sample which must presize from an expectation.
 	hint := cfg.TableSizeHint
 	if hint <= 0 {
-		hint = int(2*cfg.M) + 1024
+		hint = 2*len(heads) + 1024
 	}
 	table := NewSink(hint, cfg.Shards)
 
-	// Enumerate heads arc by arc (same trial distribution as Sample),
-	// flushing a wave whenever it fills.
-	perArc := float64(cfg.M) / float64(g.NumEdges())
-	base := int64(perArc)
-	frac := perArc - float64(base)
-
-	heads := make([]waveHead, 0, waveSize)
-	states := make([]uint64, 0, 2*waveSize)
-	var stats Stats
-	wave := 0
-
-	flush := func() {
-		if len(heads) == 0 {
-			return
-		}
-		runWave(g, heads, states, cfg.Seed, uint64(wave))
-		for _, h := range heads {
-			table.AddFixed(hashtable.Key(h.e0, h.e1), h.fixed)
-			table.AddFixed(hashtable.Key(h.e1, h.e0), h.fixed)
-		}
-		wave++
-		heads = heads[:0]
-		states = states[:0]
-	}
-
-	n := g.NumVertices()
-	var src rng.Source
-	for ui := 0; ui < n; ui++ {
-		u := uint32(ui)
-		du := g.Degree(u)
-		if du == 0 {
-			continue
-		}
-		src.Seed(cfg.Seed, uint64(u))
-		for i := 0; i < du; i++ {
-			v := g.Neighbor(u, i)
-			ne := base
-			if frac > 0 && src.Bernoulli(frac) {
-				ne++
-			}
-			if ne == 0 {
-				continue
-			}
-			pe := 1.0
-			if cfg.Downsample {
-				pe = Prob(c, du, g.Degree(v))
-			}
-			fixed := hashtable.ToFixed(1 / pe)
-			for k := int64(0); k < ne; k++ {
-				stats.Trials++
-				if pe < 1 && !src.Bernoulli(pe) {
-					continue
-				}
-				stats.Heads++
-				r := 1 + src.Intn(cfg.T)
-				s := src.Intn(r)
-				head := len(heads)
-				heads = append(heads, waveHead{fixed: fixed})
-				states = append(states,
-					packState(u, s, 0, head),
-					packState(v, r-1-s, 1, head))
-				if len(heads) == waveSize {
-					flush()
-				}
-			}
-		}
-	}
-	flush()
+	pipelineWaves(g, table, heads, cfg.Seed, waveSize)
 
 	stats.DistinctEntries = table.Len()
 	stats.TableBytes = table.MemoryBytes()
@@ -157,48 +112,43 @@ func SampleBatched(g *graph.Graph, cfg Config, waveSize int) (Sink, Stats, error
 	return table, stats, nil
 }
 
-// runWave advances all states to completion, radix-grouping by current
-// vertex between steps, and records endpoints into heads.
-func runWave(g *graph.Graph, heads []waveHead, states []uint64, seed, wave uint64) {
-	round := 0
-	for len(states) > 0 {
-		radix.Sort(states) // group by current vertex (top bits)
-		// Advance every state one step in parallel; finished states record
-		// their endpoint and are dropped by the compaction below.
-		par.ForRange(len(states), 1024, func(lo, hi int) {
-			var src rng.Source
-			src.Seed(seed^0xba7c4ed, (wave<<20)^uint64(round)<<40^uint64(lo))
-			for i := lo; i < hi; i++ {
-				st := states[i]
-				cur := uint32(st >> batchCurOff)
-				steps := int(st>>batchStepOff) & (1<<batchStepBits - 1)
-				head := int(st & (maxWaveHeads - 1))
-				side := int(st>>batchSideBit) & 1
-				if steps == 0 {
-					if side == 0 {
-						heads[head].e0 = cur
-					} else {
-						heads[head].e1 = cur
-					}
-					states[i] = ^uint64(0) // tombstone
-					continue
-				}
-				next, ok := g.RandomNeighbor(cur, &src)
-				if !ok {
-					next = cur // isolated: stay (cannot happen on symmetric graphs)
-				}
-				states[i] = packState(next, steps-1, side, head)
-			}
-		})
-		// Compact out tombstones.
-		out := 0
-		for _, st := range states {
-			if st != ^uint64(0) {
-				states[out] = st
-				out++
-			}
-		}
-		states = states[:out]
-		round++
+// pipelineWaves drives stages 2 and 3: the walker (this goroutine) advances
+// one wave of walks at a time, handing each finished wave to a drain
+// goroutine that inserts its heads into the sink while the walker is already
+// advancing the next wave. Wave slices are disjoint regions of the heads
+// array and the channel send orders the walker's endpoint writes before the
+// drain's reads, so the overlap is race-free. The channel holds at most one
+// finished wave: the walker only stalls if walking runs two waves ahead of
+// insertion.
+func pipelineWaves(g *graph.Graph, table Sink, heads []headRec, seed uint64, waveSize int) {
+	if len(heads) == 0 {
+		return
 	}
+	maxWave := waveSize
+	if len(heads) < maxWave {
+		maxWave = len(heads)
+	}
+	states := make([]uint64, 2*maxWave)
+	scratch := make([]uint64, 2*maxWave)
+
+	waveCh := make(chan []headRec, 1)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		var buf drainBuf
+		for wave := range waveCh {
+			buf.drainWave(table, wave)
+		}
+	}()
+	for lo := 0; lo < len(heads); lo += waveSize {
+		hi := lo + waveSize
+		if hi > len(heads) {
+			hi = len(heads)
+		}
+		wave := heads[lo:hi]
+		runWave(g, wave, states, scratch, seed, uint64(lo))
+		waveCh <- wave
+	}
+	close(waveCh)
+	<-done
 }

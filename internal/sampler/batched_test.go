@@ -1,11 +1,48 @@
 package sampler
 
 import (
+	"fmt"
 	"math"
+	"runtime"
 	"testing"
 
 	"lightne/internal/graph"
+	"lightne/internal/rng"
 )
+
+// chordGraph builds a connected random graph: a cycle backbone plus extra
+// random chords, deduplicated — degree-skewed enough to exercise the
+// enumeration's block geometry.
+func chordGraph(t testing.TB, n, extraPerVertex int, seed uint64) *graph.Graph {
+	t.Helper()
+	s := rng.New(seed, 0)
+	seen := make(map[[2]uint32]bool)
+	var arcs []graph.Edge
+	add := func(u, v uint32) {
+		if u == v {
+			return
+		}
+		if u > v {
+			u, v = v, u
+		}
+		if seen[[2]uint32{u, v}] {
+			return
+		}
+		seen[[2]uint32{u, v}] = true
+		arcs = append(arcs, graph.Edge{U: u, V: v})
+	}
+	for i := 0; i < n; i++ {
+		add(uint32(i), uint32((i+1)%n))
+		for k := 0; k < extraPerVertex; k++ {
+			add(uint32(i), uint32(s.Intn(n)))
+		}
+	}
+	g, err := graph.FromEdges(n, arcs, graph.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
 
 func TestPackStateRoundtrip(t *testing.T) {
 	for _, tc := range []struct {
@@ -135,6 +172,152 @@ func TestSampleBatchedParityOnCycle(t *testing.T) {
 		diff := (int(us[i]) - int(vs[i]) + 8) % 8
 		if diff != 1 && diff != 7 {
 			t.Fatalf("T=1 batched sample (%d,%d) is not an original edge", us[i], vs[i])
+		}
+	}
+}
+
+// TestSampleBatchedGoldenAcrossGeometry locks down the pipeline's central
+// determinism guarantee: the drained sparsifier input is a pure function of
+// (graph, config) — bit-identical across wave size, shard count, and worker
+// count. Per-vertex enumeration streams plus per-(head, side, step) walk
+// streams make every draw independent of the execution geometry.
+func TestSampleBatchedGoldenAcrossGeometry(t *testing.T) {
+	g := chordGraph(t, 300, 3, 42)
+	cfg := Config{T: 6, M: 120_000, Downsample: true, Seed: 99}
+	n := g.NumVertices()
+	build := func(waveSize, shards, procs int) ([]int64, []uint32, []float64) {
+		prev := runtime.GOMAXPROCS(procs)
+		defer runtime.GOMAXPROCS(prev)
+		c := cfg
+		c.Shards = shards
+		tab, _, err := SampleBatched(g, c, waveSize)
+		if err != nil {
+			t.Fatalf("wave=%d shards=%d procs=%d: %v", waveSize, shards, procs, err)
+		}
+		rowPtr, cols, ws := tab.DrainCSR(n)
+		return rowPtr, cols, ws
+	}
+	goldPtr, goldCols, goldWs := build(0, 1, 1)
+	if len(goldCols) == 0 {
+		t.Fatal("golden run produced an empty sparsifier")
+	}
+	for _, waveSize := range []int{0, 1024, 4097} {
+		for _, shards := range []int{1, 4} {
+			for _, procs := range []int{1, 4} {
+				if waveSize == 0 && shards == 1 && procs == 1 {
+					continue
+				}
+				name := fmt.Sprintf("wave=%d/shards=%d/procs=%d", waveSize, shards, procs)
+				rowPtr, cols, ws := build(waveSize, shards, procs)
+				if len(rowPtr) != len(goldPtr) || len(cols) != len(goldCols) {
+					t.Fatalf("%s: shape (%d,%d) differs from golden (%d,%d)",
+						name, len(rowPtr), len(cols), len(goldPtr), len(goldCols))
+				}
+				for i := range rowPtr {
+					if rowPtr[i] != goldPtr[i] {
+						t.Fatalf("%s: rowPtr[%d] = %d, golden %d", name, i, rowPtr[i], goldPtr[i])
+					}
+				}
+				for i := range cols {
+					if cols[i] != goldCols[i] {
+						t.Fatalf("%s: cols[%d] = %d, golden %d", name, i, cols[i], goldCols[i])
+					}
+					if ws[i] != goldWs[i] {
+						t.Fatalf("%s: ws[%d] = %v, golden %v (must be bit-identical)",
+							name, i, ws[i], goldWs[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestSampleBatchedMatchesSerialFlush compares the pipeline against the
+// retained pre-pipeline implementation: enumeration draws are identical
+// (exact Trials/Heads equality), total inserted mass is conserved exactly,
+// and heavy entries agree distributionally (walk streams differ by design,
+// so per-entry weights are estimates of the same expectation).
+func TestSampleBatchedMatchesSerialFlush(t *testing.T) {
+	g := chordGraph(t, 200, 2, 17)
+	cfg := Config{T: 5, M: 150_000, Downsample: true, Seed: 31}
+	serialTab, serialStats, err := SampleBatchedSerial(g, cfg, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pipeTab, pipeStats, err := SampleBatched(g, cfg, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if serialStats.Trials != pipeStats.Trials || serialStats.Heads != pipeStats.Heads {
+		t.Fatalf("enumeration accounting differs: serial %d/%d vs pipeline %d/%d",
+			serialStats.Trials, serialStats.Heads, pipeStats.Trials, pipeStats.Heads)
+	}
+	sum := func(tab Sink) float64 {
+		_, _, ws := tab.Drain()
+		var s float64
+		for _, w := range ws {
+			s += w
+		}
+		return s
+	}
+	sSum, pSum := sum(serialTab), sum(pipeTab)
+	// Both insert exactly the same multiset of 1/p_e weights (twice per head);
+	// fixed-point accumulation is exact, so the totals match to fixed-point
+	// resolution regardless of walk endpoints.
+	if math.Abs(sSum-pSum) > 1e-6*(1+sSum) {
+		t.Fatalf("total mass differs: serial %.9g vs pipeline %.9g", sSum, pSum)
+	}
+	us, vs, ws := serialTab.Drain()
+	heavy, agree := 0, 0
+	for i := range us {
+		if ws[i] < 60 {
+			continue
+		}
+		heavy++
+		wp, ok := pipeTab.Get(us[i], vs[i])
+		if ok && math.Abs(wp-ws[i]) <= 0.3*ws[i] {
+			agree++
+		}
+	}
+	if heavy > 0 && agree < heavy*9/10 {
+		t.Fatalf("heavy entries disagree: %d/%d within 30%%", agree, heavy)
+	}
+}
+
+// TestSampleBatchedStressGrowMidDrain forces table grows to race the walking
+// stage: an absurd size hint makes every wave's sharded (and single-table)
+// batch insert trigger doubling rehashes while the next wave walks. Run
+// under -race this is the pipeline's concurrency certificate; in any mode it
+// checks conservation and peak accounting.
+func TestSampleBatchedStressGrowMidDrain(t *testing.T) {
+	prev := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(prev)
+	g := chordGraph(t, 150, 2, 5)
+	for _, shards := range []int{1, 4} {
+		cfg := Config{
+			T: 4, M: 60_000, Downsample: true, Seed: 3,
+			TableSizeHint: 16, // forces a long chain of grows mid-drain
+			Shards:        shards,
+		}
+		tab, stats, err := SampleBatched(g, cfg, 256)
+		if err != nil {
+			t.Fatalf("shards=%d: %v", shards, err)
+		}
+		if tab.Len() == 0 || stats.Heads == 0 {
+			t.Fatalf("shards=%d: empty run", shards)
+		}
+		if stats.PeakTableBytes <= stats.TableBytes {
+			t.Fatalf("shards=%d: hint did not force a grow (peak %d steady %d)",
+				shards, stats.PeakTableBytes, stats.TableBytes)
+		}
+		_, _, ws := tab.Drain()
+		var total float64
+		for _, w := range ws {
+			total += w
+		}
+		want := 2 * float64(stats.Trials)
+		if math.Abs(total-want) > 0.05*want {
+			t.Fatalf("shards=%d: total mass %.0f want ~%.0f", shards, total, want)
 		}
 	}
 }

@@ -22,6 +22,14 @@ type Sink interface {
 	// AddFixed accumulates a 44.20 fixed-point weight onto a packed key.
 	// Safe for concurrent use.
 	AddFixed(key, fixed uint64)
+	// AddFixedBatch accumulates many (key, fixed-point weight) pairs at
+	// once, parallelizing the inserts internally — equivalent to calling
+	// AddFixed per pair. Sharded sinks radix-partition the batch on
+	// hashtable.ShardOf first so each worker owns a shard range and the
+	// atomic insert path runs contention-free; the single table falls back
+	// to parallel chunks over the lock-free AddFixed. Safe for concurrent
+	// use with AddFixed. len(keys) must equal len(fixed).
+	AddFixedBatch(keys, fixed []uint64)
 	// Get returns the accumulated weight for (u, v).
 	Get(u, v uint32) (float64, bool)
 	// Len returns the number of distinct keys.
