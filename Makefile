@@ -28,7 +28,7 @@ test:
 # fallback) under the detector without dragging the full factorization
 # test suite through -race.
 race:
-	$(GO) test -race ./internal/serve ./internal/dynamic ./internal/hashtable ./internal/aggregate ./internal/par ./internal/sampler ./internal/faultinject
+	$(GO) test -race ./internal/serve ./internal/ann ./internal/dynamic ./internal/hashtable ./internal/aggregate ./internal/par ./internal/sampler ./internal/faultinject
 	$(GO) test -race -run 'Checkpoint|Embedding' .
 
 # One verification entry point: build + tests + static checks + race.
@@ -58,3 +58,10 @@ bench-sample:
 # Quick serving throughput/latency check (closed-loop load generator).
 serve-bench:
 	$(GO) test -run xxx -bench BenchmarkServing -benchtime 2000x .
+
+# ANN benchmarks: exact scan vs IVF at several probe widths plus index
+# build cost (internal/ann), then the HTTP recall/qps frontier sweep that
+# writes BENCH_serving.json (exact baseline + one point per nprobe).
+bench-ann:
+	$(GO) test -run xxx -bench 'BenchmarkANN' -benchmem ./internal/ann
+	$(GO) test -run xxx -bench 'BenchmarkServing/frontier' -benchtime 2000x .

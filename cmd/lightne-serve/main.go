@@ -21,6 +21,14 @@
 // the artifact and publishes it atomically with zero query downtime.
 // SIGINT/SIGTERM drain in-flight requests before exiting.
 //
+// -ann builds an IVF index (internal/ann) for each published snapshot, so
+// neighbor queries probe -nprobe of -nlist posting lists instead of
+// scanning every vertex; the index is constructed before the publish and
+// swapped in the same atomic pointer store as its embedding, on the cold
+// start, the checkpoint warm restart, and every hot-swap reload alike.
+// Snapshots smaller than -ann-min-rows keep the exact scan (it is already
+// microseconds at that size).
+//
 // Failure hardening: -checkpoint persists each served snapshot to a
 // crash-safe CRC-checked file (temp + fsync + atomic rename). On restart
 // the checkpoint warm-starts the server even when the artifact is missing
@@ -43,6 +51,7 @@ import (
 	"time"
 
 	"lightne"
+	"lightne/internal/ann"
 	"lightne/internal/serve"
 )
 
@@ -55,8 +64,13 @@ func main() {
 		checkpoint  = flag.String("checkpoint", "", "crash-safe snapshot checkpoint path: written after each publish, loaded (CRC-checked) for warm restart")
 		maxInFlight = flag.Int("max-inflight", 0, "max concurrently executing queries before shedding with 503 (0 = unlimited)")
 		reqTimeout  = flag.Duration("request-timeout", 0, "per-request context deadline (0 = none)")
+		annOn       = flag.Bool("ann", false, "build an IVF index per published snapshot for sub-linear queries (snapshots under -ann-min-rows keep the exact scan)")
+		nlist       = flag.Int("nlist", 0, "IVF posting-list count (0 = sqrt of the vertex count)")
+		nprobe      = flag.Int("nprobe", 0, "IVF lists probed per query; higher = better recall, slower (0 = nlist/16)")
+		annMinRows  = flag.Int("ann-min-rows", 0, "smallest snapshot that gets an IVF index (0 = default 4096); smaller ones serve exact scans")
 	)
 	flag.Parse()
+	annCfg := ann.Config{Enabled: *annOn, NList: *nlist, NProbe: *nprobe, MinRows: *annMinRows}
 	log.SetFlags(log.LstdFlags | log.Lmicroseconds)
 	log.SetPrefix("lightne-serve: ")
 	if *artifact == "" {
@@ -75,7 +89,7 @@ func main() {
 	if *checkpoint != "" {
 		if x, err := lightne.ReadCheckpoint(*checkpoint); err == nil {
 			if ix, ixErr := serve.NewIndex(x, *precision); ixErr == nil {
-				store.Publish(ix, 0)
+				publishIndexed(store, ix, annCfg)
 				warm = true
 				log.Printf("warm restart from checkpoint %s: %d vertices x %d dims", *checkpoint, x.Rows, x.Cols)
 			} else {
@@ -88,7 +102,7 @@ func main() {
 
 	// Cold path: load the artifact. With a warm snapshot already published,
 	// an artifact failure only means serving the checkpointed generation.
-	mtime, err := publishArtifact(store, *artifact, *precision)
+	mtime, err := publishArtifact(store, *artifact, *precision, annCfg)
 	switch {
 	case err == nil:
 		snap := store.Snapshot()
@@ -126,7 +140,7 @@ func main() {
 					continue
 				}
 			}
-			m, err := publishArtifact(store, *artifact, *precision)
+			m, err := publishArtifact(store, *artifact, *precision, annCfg)
 			if err != nil {
 				log.Printf("reload failed, keeping current snapshot: %v", err)
 				continue
@@ -150,9 +164,10 @@ func main() {
 	log.Printf("shut down cleanly")
 }
 
-// publishArtifact loads the artifact and atomically publishes it, returning
-// the file's mtime for change detection.
-func publishArtifact(store *serve.Store, path, precision string) (time.Time, error) {
+// publishArtifact loads the artifact and atomically publishes it (together
+// with its IVF index when ANN is configured), returning the file's mtime
+// for change detection.
+func publishArtifact(store *serve.Store, path, precision string, annCfg ann.Config) (time.Time, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return time.Time{}, err
@@ -170,8 +185,26 @@ func publishArtifact(store *serve.Store, path, precision string) (time.Time, err
 	if err != nil {
 		return time.Time{}, err
 	}
-	store.Publish(ix, 0)
+	publishIndexed(store, ix, annCfg)
 	return st.ModTime(), nil
+}
+
+// publishIndexed builds the snapshot's IVF index per annCfg and swaps the
+// (embedding, index) pair in atomically. A failed index build degrades to
+// the exact scan rather than blocking the publish — a served snapshot
+// always beats a perfectly indexed one that never lands.
+func publishIndexed(store *serve.Store, ix serve.Index, annCfg ann.Config) {
+	ivf, err := serve.BuildANN(ix, annCfg)
+	if err != nil {
+		log.Printf("ANN index build failed, serving exact scans: %v", err)
+		ivf = nil
+	}
+	store.PublishWithANN(ix, ivf, 0)
+	if ivf != nil {
+		st := ivf.Stats()
+		log.Printf("IVF index: %d lists (probe %d), %d empty, %.1f MB",
+			st.NList, st.NProbe, st.EmptyLists, float64(st.MemoryBytes)/1e6)
+	}
 }
 
 // writeCheckpoint persists the just-published artifact to the checkpoint

@@ -21,10 +21,40 @@ import (
 	"lightne/internal/par"
 )
 
+// Embedding is the codec-independent view of a quantized embedding — the
+// API shared by Float32Embedding and Int8Embedding. Serving builds exactly
+// one index implementation over this interface (and the ANN layer exactly
+// one coarse quantizer), so a new codec plugs into both by implementing it.
+// All methods must be safe for concurrent readers.
+type Embedding interface {
+	// Shape returns (rows, cols) — named methods rather than fields so both
+	// codecs (which expose Rows/Cols as struct fields) can satisfy it.
+	Shape() (rows, cols int)
+	// TopK returns the k rows most cosine-similar to row v (excluding v),
+	// sorted by decreasing similarity, computed on the compressed form.
+	TopK(v, k int) ([]int, []float64, error)
+	// Cosine is the cosine similarity between stored rows u and v.
+	Cosine(u, v int) float64
+	// DequantTo writes row v, dequantized to float32, into dst (which must
+	// have length >= cols). Used where a float view of a row is required:
+	// vector lookups, centroid training, and query-to-centroid routing.
+	DequantTo(dst []float32, v int)
+	// MemoryBytes is the resident size of the compressed store.
+	MemoryBytes() int64
+}
+
 // Float32Embedding stores an embedding in single precision.
 type Float32Embedding struct {
 	Rows, Cols int
 	Data       []float32
+}
+
+// Shape returns the embedding dimensions.
+func (e *Float32Embedding) Shape() (int, int) { return e.Rows, e.Cols }
+
+// DequantTo copies row v into dst (float32 is already the stored form).
+func (e *Float32Embedding) DequantTo(dst []float32, v int) {
+	copy(dst, e.Row(v))
 }
 
 // ToFloat32 converts a float64 embedding.
@@ -89,7 +119,7 @@ func (e *Float32Embedding) TopK(v, k int) ([]int, []float64, error) {
 		}
 		sims[i] = dot / (math.Sqrt(nn) * qn)
 	})
-	idx, vals := selectTopK(sims, k)
+	idx, vals := SelectTopK(sims, k)
 	return idx, vals, nil
 }
 
@@ -150,6 +180,18 @@ func ToInt8(x *dense.Matrix) *Int8Embedding {
 	return out
 }
 
+// Shape returns the embedding dimensions.
+func (e *Int8Embedding) Shape() (int, int) { return e.Rows, e.Cols }
+
+// DequantTo writes row v's dequantized values (scale · code) into dst.
+func (e *Int8Embedding) DequantTo(dst []float32, v int) {
+	s := e.Scales[v]
+	codes := e.Codes[v*e.Cols : (v+1)*e.Cols]
+	for j, c := range codes {
+		dst[j] = s * float32(c)
+	}
+}
+
 // ToDense dequantizes back to float64 (lossy).
 func (e *Int8Embedding) ToDense() *dense.Matrix {
 	m := dense.NewMatrix(e.Rows, e.Cols)
@@ -201,15 +243,18 @@ func (e *Int8Embedding) TopK(v, k int) ([]int, []float64, error) {
 		}
 		sims[i] = e.Cosine(v, i)
 	})
-	idx, vals := selectTopK(sims, k)
+	idx, vals := SelectTopK(sims, k)
 	return idx, vals, nil
 }
 
-// selectTopK picks the k largest finite similarities in one pass with a
+// SelectTopK picks the k largest finite similarities in one pass with a
 // size-k min-heap (O(n log k)), returning indices and values sorted by
 // decreasing similarity, ties toward lower indices. Entries equal to -Inf
-// (the self row and excluded rows) are skipped.
-func selectTopK(sims []float64, k int) ([]int, []float64) {
+// (the self row and excluded rows) are skipped. Exported because it is the
+// shared selection kernel of every top-k consumer: both codecs' exact scans
+// here, and the ANN probe path (centroid routing and candidate selection)
+// in internal/ann.
+func SelectTopK(sims []float64, k int) ([]int, []float64) {
 	if k > len(sims) {
 		k = len(sims)
 	}

@@ -212,3 +212,62 @@ func TestZeroRows(t *testing.T) {
 		}
 	}
 }
+
+// TestEmbeddingInterface pins the codec-independent API both codecs expose:
+// Shape agrees with the fields, DequantTo reproduces the values the codec
+// serves, and both types satisfy quant.Embedding (compile-time below).
+func TestEmbeddingInterface(t *testing.T) {
+	x := dense.NewMatrix(6, 4)
+	for i := 0; i < 6; i++ {
+		for j := 0; j < 4; j++ {
+			x.Set(i, j, float64(i+1)*0.25-float64(j)*0.1)
+		}
+	}
+	for _, e := range []Embedding{ToFloat32(x), ToInt8(x)} {
+		rows, cols := e.Shape()
+		if rows != 6 || cols != 4 {
+			t.Fatalf("%T shape %dx%d", e, rows, cols)
+		}
+		// Values up to 1.5 with int8's per-row scale put the quantization
+		// half-step well under 0.01.
+		buf := make([]float32, cols)
+		for i := 0; i < rows; i++ {
+			e.DequantTo(buf, i)
+			for j := 0; j < cols; j++ {
+				if math.Abs(float64(buf[j])-x.At(i, j)) > 0.01 {
+					t.Fatalf("%T DequantTo(%d)[%d] = %v, want %v", e, i, j, buf[j], x.At(i, j))
+				}
+			}
+		}
+	}
+}
+
+var (
+	_ Embedding = (*Float32Embedding)(nil)
+	_ Embedding = (*Int8Embedding)(nil)
+)
+
+// TestSelectTopK pins the exported selection kernel: k largest finite
+// values, sorted descending, ties toward lower indices, -Inf skipped.
+func TestSelectTopK(t *testing.T) {
+	neg := math.Inf(-1)
+	idx, vals := SelectTopK([]float64{0.5, neg, 0.9, 0.5, -0.2}, 3)
+	wantIdx := []int{2, 0, 3}
+	wantVal := []float64{0.9, 0.5, 0.5}
+	if len(idx) != 3 {
+		t.Fatalf("got %d results", len(idx))
+	}
+	for i := range wantIdx {
+		if idx[i] != wantIdx[i] || vals[i] != wantVal[i] {
+			t.Fatalf("rank %d: (%d, %v), want (%d, %v)", i, idx[i], vals[i], wantIdx[i], wantVal[i])
+		}
+	}
+	// k larger than the finite count returns only the finite entries.
+	idx, _ = SelectTopK([]float64{neg, 1, neg}, 5)
+	if len(idx) != 1 || idx[0] != 1 {
+		t.Fatalf("overlong k: %v", idx)
+	}
+	if idx, _ := SelectTopK(nil, 3); len(idx) != 0 {
+		t.Fatalf("empty input: %v", idx)
+	}
+}

@@ -23,6 +23,23 @@ func SplitMix64(s *uint64) uint64 {
 	return z ^ (z >> 31)
 }
 
+// Hash64 returns 64 uniform bits for a (seed, key) pair with a single
+// SplitMix64 finalization — the same stream-decorrelation mix Seed uses,
+// without constructing a full xoshiro state (four finalizations plus the
+// zero-state check). Use it for *single* keyed draws, where seeding a whole
+// stream per draw would dominate the work; draws that need more than 64
+// bits must still build a Source.
+//
+// Distinct (seed, key) pairs give independent values with full avalanche
+// (the finalizer is the murmur-style mixer SplitMix64 is built on), so a
+// consumer keyed the same way as a Seed-per-draw stream keeps the same
+// determinism guarantees: the value depends only on (seed, key), never on
+// execution order.
+func Hash64(seed, key uint64) uint64 {
+	x := seed ^ key*0xda942042e4dd58b5
+	return SplitMix64(&x)
+}
+
 // Source is a xoshiro256++ generator. The zero value is invalid; construct
 // with New or Seed before use.
 type Source struct {

@@ -164,3 +164,56 @@ func TestSeedAllZeroGuard(t *testing.T) {
 		_ = s.Uint64()
 	}
 }
+
+// TestHash64Uniformity drives the keyed hash with the adversarial key shape
+// the batched walker uses — densely packed sequential (head, step, side)
+// triples — and checks the outputs look uniform: bucket occupancy close to
+// expectation and every output bit unbiased.
+func TestHash64Uniformity(t *testing.T) {
+	const n = 1 << 16
+	const buckets = 64
+	var counts [buckets]int
+	var bitOnes [64]int
+	seen := make(map[uint64]bool, n)
+	for head := 0; head < n/32; head++ {
+		for step := 0; step < 16; step++ {
+			for side := uint64(0); side < 2; side++ {
+				key := uint64(head)<<10 | uint64(step)<<1 | side
+				h := Hash64(12345, key)
+				counts[h%buckets]++
+				for b := 0; b < 64; b++ {
+					bitOnes[b] += int(h >> b & 1)
+				}
+				seen[h] = true
+			}
+		}
+	}
+	total := (n / 32) * 16 * 2
+	if len(seen) != total {
+		t.Fatalf("collisions: %d distinct outputs for %d keys", len(seen), total)
+	}
+	want := float64(total) / buckets
+	for i, c := range counts {
+		if math.Abs(float64(c)-want) > 0.15*want {
+			t.Fatalf("bucket %d: %d hits, want ~%.0f", i, c, want)
+		}
+	}
+	for b, ones := range bitOnes {
+		frac := float64(ones) / float64(total)
+		if frac < 0.45 || frac > 0.55 {
+			t.Fatalf("output bit %d biased: %.3f ones", b, frac)
+		}
+	}
+}
+
+// TestHash64SeedSeparation checks distinct seeds decorrelate the same key.
+func TestHash64SeedSeparation(t *testing.T) {
+	for key := uint64(0); key < 1000; key++ {
+		if Hash64(1, key) == Hash64(2, key) {
+			t.Fatalf("key %d collides across seeds", key)
+		}
+	}
+	if Hash64(7, 0) == Hash64(7, 1) {
+		t.Fatal("adjacent keys collide")
+	}
+}

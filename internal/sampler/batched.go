@@ -30,9 +30,10 @@ import (
 // Stage 3 (drain.go) inserts a finished wave's (e0, e1, fixed) heads into
 // the Sink concurrently with the walker advancing the next wave — the
 // double-buffered overlap that keeps the machine busy end to end. Walk
-// steps draw from streams keyed by (global head, side, step), which makes
-// the output a pure function of (graph, config): bit-identical across
-// waveSize, Shards and GOMAXPROCS once drained through DrainCSR.
+// steps are single keyed-hash draws (rng.Hash64 keyed by (global head,
+// side, step) — see wave.go), which makes the output a pure function of
+// (graph, config): bit-identical across waveSize, Shards and GOMAXPROCS
+// once drained through DrainCSR.
 //
 // Walk states pack into one uint64 so the radix grouping is the only data
 // movement:

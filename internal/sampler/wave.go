@@ -18,13 +18,19 @@ import (
 // are compacted out with the same count/scan/fill shape as the drain path,
 // replacing the serial tombstone sweep.
 //
-// Every walk step draws from an RNG stream keyed by (global head index,
-// side, step index): src.Seed(seed^walkSeedTag, ghead<<10 | step<<1 | side).
-// Streams are therefore unique per draw and depend on nothing but the head's
-// identity, which makes endpoints a pure function of (graph, seed, heads) —
-// independent of wave membership (waveSize), chunk geometry (GOMAXPROCS) and
-// state order (the grouping). The serial-flush reference seeded streams per
-// chunk instead, which tied its output to the worker count.
+// Every walk step is one keyed-hash draw: rng.Hash64(seed^walkSeedTag,
+// ghead<<10 | step<<1 | side) yields 64 uniform bits, reduced to a neighbor
+// index by a multiply-shift (bias < degree/2^64, i.e. < 2^-32 for 32-bit
+// vertex ids — far below the sampler's statistical noise). Draws are
+// therefore unique per (head, side, step) and depend on nothing but the
+// head's identity, which makes endpoints a pure function of (graph, seed,
+// heads) — independent of wave membership (waveSize), chunk geometry
+// (GOMAXPROCS) and state order (the grouping). Earlier revisions built a
+// full xoshiro stream per draw (four SplitMix64 finalizations plus a
+// rejection loop) to get the same guarantee; the single-mix hash keeps it
+// at roughly a quarter of the seeding cost — the ~13% single-core
+// determinism tax ROADMAP carried. The serial-flush reference seeds streams
+// per chunk instead, which ties its output to the worker count.
 
 // walkSeedTag distinguishes walk-step streams from enumeration streams.
 const walkSeedTag = 0xba7c4ed
@@ -62,7 +68,6 @@ func runWave(g *graph.Graph, wave []headRec, states, scratch []uint64, seed, bas
 	for round := 0; n > 0; round++ {
 		radix.SortBytesBuf(states[:n], scratch, 4, 4+curBytes)
 		par.ForRange(n, walkGrain, func(lo, hi int) {
-			var src rng.Source
 			for i := lo; i < hi; i++ {
 				st := states[i]
 				cur := uint32(st >> batchCurOff)
@@ -79,10 +84,11 @@ func runWave(g *graph.Graph, wave []headRec, states, scratch []uint64, seed, bas
 					continue
 				}
 				// step index == round: all live states advance once per round.
-				src.Seed(walkSeed, (base+uint64(head))<<10|uint64(round)<<1|side)
-				next, ok := g.RandomNeighbor(cur, &src)
-				if !ok {
-					next = cur // isolated: stay (cannot happen on symmetric graphs)
+				next := cur // isolated: stay (cannot happen on symmetric graphs)
+				if d := g.Degree(cur); d > 0 {
+					draw := rng.Hash64(walkSeed, (base+uint64(head))<<10|uint64(round)<<1|side)
+					pick, _ := bits.Mul64(draw, uint64(d))
+					next = g.Neighbor(cur, int(pick))
 				}
 				states[i] = packState(next, steps-1, int(side), head)
 			}

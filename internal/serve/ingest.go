@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"lightne/internal/ann"
 	"lightne/internal/dynamic"
 	"lightne/internal/faultinject"
 	"lightne/internal/graph"
@@ -65,6 +66,12 @@ const (
 type IngestConfig struct {
 	// Precision of published indexes ("float32" or "int8"; "" = float32).
 	Precision string
+	// ANN configures the IVF index built for each published snapshot (see
+	// BuildANN): zero value means exact scans only; with Enabled set, every
+	// snapshot of at least MinRows vertices gets an index constructed right
+	// before its atomic swap, so queries never see an embedding without its
+	// matching index.
+	ANN ann.Config
 	// MaxStaleness triggers a full resample (Embedder.Refresh) when the
 	// embedder's staleness ratio exceeds it after a batch. 0 disables
 	// automatic refresh.
@@ -198,7 +205,11 @@ func (in *Ingester) PublishNow() error {
 	if err != nil {
 		return err
 	}
-	in.store.Publish(ix, in.emb.Staleness())
+	ivf, err := BuildANN(ix, in.cfg.ANN)
+	if err != nil {
+		return fmt.Errorf("serve: building ANN index for publish: %w", err)
+	}
+	in.store.PublishWithANN(ix, ivf, in.emb.Staleness())
 	in.published.Add(1)
 	return nil
 }

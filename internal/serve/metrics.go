@@ -105,7 +105,34 @@ type Metrics struct {
 	panics    atomic.Int64
 	shed      atomic.Int64
 	ingest    func() IngestStatus // nil unless an ingester is attached
+
+	// Search-path accounting: which path answered (IVF probe vs exact scan)
+	// and how many row-distance computations it spent — the live view of
+	// the recall/throughput trade the ANN index buys.
+	annQueries   atomic.Int64
+	exactQueries atomic.Int64
+	scannedRows  atomic.Int64
 }
+
+// ObserveSearch records one answered top-k query: approx says the ANN
+// probe produced the answer, scanned is its row-distance computation count.
+func (m *Metrics) ObserveSearch(approx bool, scanned int) {
+	if approx {
+		m.annQueries.Add(1)
+	} else {
+		m.exactQueries.Add(1)
+	}
+	m.scannedRows.Add(int64(scanned))
+}
+
+// ANNQueries reports how many queries the ANN probe answered.
+func (m *Metrics) ANNQueries() int64 { return m.annQueries.Load() }
+
+// ExactQueries reports how many queries fell to the exact scan.
+func (m *Metrics) ExactQueries() int64 { return m.exactQueries.Load() }
+
+// ScannedRows reports the total row-distance computations spent on queries.
+func (m *Metrics) ScannedRows() int64 { return m.scannedRows.Load() }
 
 // Panics reports how many handler panics the recovery middleware caught.
 func (m *Metrics) Panics() int64 { return m.panics.Load() }
@@ -191,6 +218,41 @@ func (m *Metrics) WriteTo(w io.Writer) (int64, error) {
 			return n, err
 		}
 		if err := emit("lightne_snapshot_bytes %d\n", snap.Index.MemoryBytes()); err != nil {
+			return n, err
+		}
+		annOn := 0
+		if snap.ANN != nil {
+			annOn = 1
+		}
+		if err := emit("lightne_snapshot_ann %d\n", annOn); err != nil {
+			return n, err
+		}
+		if snap.ANN != nil {
+			st := snap.ANN.Stats()
+			for _, g := range []struct {
+				name string
+				v    int64
+			}{
+				{"lightne_ann_nlist", int64(st.NList)},
+				{"lightne_ann_nprobe", int64(st.NProbe)},
+				{"lightne_ann_empty_lists", int64(st.EmptyLists)},
+				{"lightne_ann_bytes", st.MemoryBytes},
+			} {
+				if err := emit("%s %d\n", g.name, g.v); err != nil {
+					return n, err
+				}
+			}
+		}
+	}
+	for _, g := range []struct {
+		name string
+		v    int64
+	}{
+		{"lightne_ann_queries_total", m.annQueries.Load()},
+		{"lightne_exact_queries_total", m.exactQueries.Load()},
+		{"lightne_scanned_rows_total", m.scannedRows.Load()},
+	} {
+		if err := emit("%s %d\n", g.name, g.v); err != nil {
 			return n, err
 		}
 	}

@@ -13,6 +13,7 @@ import (
 	"testing"
 	"time"
 
+	"lightne/internal/ann"
 	"lightne/internal/core"
 	"lightne/internal/dense"
 	"lightne/internal/dynamic"
@@ -534,5 +535,331 @@ func TestHistogramBuckets(t *testing.T) {
 	var empty latencyHist
 	if empty.quantile(0.5) != 0 || empty.mean() != 0 {
 		t.Fatal("empty histogram must report zero")
+	}
+}
+
+// annTestSnapshot publishes a snapshot carrying an IVF index over the
+// standard two-cluster embedding (MinRows 1 forces indexing at test scale).
+func annTestSnapshot(t *testing.T, store *Store, n, d int) *Snapshot {
+	t.Helper()
+	ix, err := NewIndex(clusteredEmbedding(n, d), "float32")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ivf, err := BuildANN(ix, ann.Config{Enabled: true, MinRows: 1, NList: 16, NProbe: 8, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ivf == nil {
+		t.Fatal("BuildANN returned no index with Enabled and MinRows 1")
+	}
+	return store.PublishWithANN(ix, ivf, 0)
+}
+
+// TestANNServing runs the HTTP query path against an ANN-carrying snapshot:
+// results stay within the query's cluster, health reports the index
+// geometry, and the metrics show the ANN path answering with a sub-linear
+// scan count.
+func TestANNServing(t *testing.T) {
+	const n, d = 2000, 8
+	store := NewStore()
+	annTestSnapshot(t, store, n, d)
+	srv := New(store)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	var got NeighborsResponse
+	if code := getJSON(t, ts.URL+"/v1/neighbors?vertex=0&k=5", &got); code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	if len(got.Neighbors) != 5 {
+		t.Fatalf("%d neighbors", len(got.Neighbors))
+	}
+	for _, nb := range got.Neighbors {
+		if nb.Vertex >= n/2 {
+			t.Fatalf("cross-cluster neighbor %d from ANN path", nb.Vertex)
+		}
+	}
+	var batch BatchResponse
+	if code := postJSON(t, ts.URL+"/v1/batch", `{"queries":[{"vertex":1,"k":4},{"vertex":1500,"k":4}]}`, &batch); code != http.StatusOK {
+		t.Fatalf("batch status %d", code)
+	}
+	for _, nb := range batch.Results[1].Neighbors {
+		if nb.Vertex < n/2 {
+			t.Fatalf("cross-cluster neighbor %d for second-cluster query", nb.Vertex)
+		}
+	}
+
+	var h HealthResponse
+	if code := getJSON(t, ts.URL+"/healthz", &h); code != http.StatusOK {
+		t.Fatalf("healthz %d", code)
+	}
+	if !h.ANN || h.ANNNList != 16 || h.ANNNProbe != 8 {
+		t.Fatalf("health ANN fields %+v", h)
+	}
+
+	if q := srv.Metrics().ANNQueries(); q != 3 {
+		t.Fatalf("ANN answered %d of 3 queries", q)
+	}
+	if s := srv.Metrics().ScannedRows(); s <= 0 || s >= 3*int64(n-1) {
+		t.Fatalf("scanned %d rows over 3 ANN queries", s)
+	}
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"lightne_snapshot_ann 1",
+		"lightne_ann_nlist 16",
+		"lightne_ann_queries_total 3",
+		"lightne_exact_queries_total 0",
+		"lightne_scanned_rows_total",
+	} {
+		if !strings.Contains(string(raw), want) {
+			t.Errorf("metrics output missing %q", want)
+		}
+	}
+}
+
+// TestSearchFallsBackToExact pins the quality floor: when the probe cannot
+// produce k results (k larger than the probed lists' population), Search
+// answers from the exact scan instead of returning a short list.
+func TestSearchFallsBackToExact(t *testing.T) {
+	const n = 40
+	ix, err := NewIndex(clusteredEmbedding(n, 4), "float32")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ivf, err := BuildANN(ix, ann.Config{Enabled: true, MinRows: 1, NList: 8, NProbe: 1, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := NewStore().PublishWithANN(ix, ivf, 0)
+	ids, _, scanned, approx, err := snap.Search(0, 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != 25 {
+		t.Fatalf("fallback returned %d results, want 25", len(ids))
+	}
+	if approx {
+		t.Fatal("short probe must be answered by the exact path")
+	}
+	if scanned != n-1 {
+		t.Fatalf("exact fallback scanned %d, want %d", scanned, n-1)
+	}
+	// A small k the probe can satisfy stays on the ANN path.
+	if _, _, _, approx, err := snap.Search(0, 2); err != nil || !approx {
+		t.Fatalf("small-k query: approx=%v err=%v", approx, err)
+	}
+}
+
+// TestBuildANNGates checks the serving-layer gates: disabled configs and
+// sub-MinRows snapshots publish without an index.
+func TestBuildANNGates(t *testing.T) {
+	ix, err := NewIndex(clusteredEmbedding(100, 4), "int8")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ivf, err := BuildANN(ix, ann.Config{}); err != nil || ivf != nil {
+		t.Fatalf("disabled: ivf=%v err=%v", ivf, err)
+	}
+	if ivf, err := BuildANN(ix, ann.Config{Enabled: true}); err != nil || ivf != nil {
+		t.Fatalf("below default MinRows: ivf=%v err=%v", ivf, err)
+	}
+	ivf, err := BuildANN(ix, ann.Config{Enabled: true, MinRows: 1, NList: 4})
+	if err != nil || ivf == nil {
+		t.Fatalf("forced build: ivf=%v err=%v", ivf, err)
+	}
+	if ivf.Rows() != 100 {
+		t.Fatalf("index rows %d", ivf.Rows())
+	}
+}
+
+// TestIngesterPublishesANNSnapshots verifies the publish path builds the
+// index when configured: every snapshot the ingester lands carries one.
+func TestIngesterPublishesANNSnapshots(t *testing.T) {
+	var arcs []graph.Edge
+	const n = 24
+	for i := 0; i < n; i++ {
+		arcs = append(arcs, graph.Edge{U: uint32(i), V: uint32((i + 1) % n)})
+		arcs = append(arcs, graph.Edge{U: uint32(i), V: uint32((i + 2) % n)})
+	}
+	g, err := graph.FromEdges(n, arcs, graph.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := core.DefaultConfig(4)
+	cfg.T = 3
+	cfg.Seed = 7
+	emb, err := dynamic.New(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	store := NewStore()
+	ing := NewIngester(emb, store, IngestConfig{
+		ANN: ann.Config{Enabled: true, MinRows: 1, NList: 4, Seed: 1},
+	})
+	if err := ing.PublishNow(); err != nil {
+		t.Fatal(err)
+	}
+	snap := store.Snapshot()
+	if snap.ANN == nil {
+		t.Fatal("published snapshot has no ANN index")
+	}
+	if snap.ANN.Rows() != snap.Index.Rows() {
+		t.Fatalf("index over %d rows, embedding has %d", snap.ANN.Rows(), snap.Index.Rows())
+	}
+	ids, _, _, _, err := snap.Search(0, 3)
+	if err != nil || len(ids) != 3 {
+		t.Fatalf("search on ingested snapshot: ids=%v err=%v", ids, err)
+	}
+}
+
+// TestConcurrentQueriesDuringANNRebuildSwap is the ISSUE's rebuild/swap
+// race check: publisher goroutines repeatedly rebuild IVF indexes and swap
+// them in (alternating with exact-only snapshots) while query workers
+// hammer the HTTP path. Under -race this proves the index build and the
+// atomic pair-swap introduce no shared mutable state into the read path.
+func TestConcurrentQueriesDuringANNRebuildSwap(t *testing.T) {
+	const n, d = 500, 8
+	ix, err := NewIndex(clusteredEmbedding(n, d), "float32")
+	if err != nil {
+		t.Fatal(err)
+	}
+	store := NewStore()
+	store.Publish(ix, 0)
+	ts := httptest.NewServer(New(store).Handler())
+	defer ts.Close()
+
+	const swaps = 20
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 1; i <= swaps; i++ {
+			if i%2 == 0 {
+				store.Publish(ix, 0) // exact-only generation
+				continue
+			}
+			ivf, err := BuildANN(ix, ann.Config{Enabled: true, MinRows: 1, NList: 8, NProbe: 4, Seed: uint64(i)})
+			if err != nil || ivf == nil {
+				t.Errorf("rebuild %d: ivf=%v err=%v", i, ivf, err)
+				return
+			}
+			store.PublishWithANN(ix, ivf, 0)
+		}
+	}()
+
+	var wg sync.WaitGroup
+	errCh := make(chan error, 4)
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				var got NeighborsResponse
+				resp, err := http.Get(ts.URL + fmt.Sprintf("/v1/neighbors?vertex=%d&k=5", i%n))
+				if err != nil {
+					errCh <- err
+					return
+				}
+				code := resp.StatusCode
+				err = json.NewDecoder(resp.Body).Decode(&got)
+				resp.Body.Close()
+				if err != nil || code != http.StatusOK {
+					errCh <- fmt.Errorf("worker %d: status %d err %v", worker, code, err)
+					return
+				}
+				if len(got.Neighbors) != 5 {
+					errCh <- fmt.Errorf("worker %d: %d neighbors", worker, len(got.Neighbors))
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	select {
+	case err := <-errCh:
+		t.Fatal(err)
+	default:
+	}
+	if v := store.Snapshot().Version; v != swaps+1 {
+		t.Fatalf("final version %d, want %d", v, swaps+1)
+	}
+}
+
+// TestRunFrontier drives the recall/qps frontier sweep end to end at test
+// scale: exact baseline plus two probe widths, each against a live server.
+func TestRunFrontier(t *testing.T) {
+	// Gaussian rows spread across all posting lists, so a 2-of-8 probe is
+	// genuinely partial (the two-cluster fixture would collapse into two
+	// lists and a single probe would scan everything).
+	const n, d = 300, 8
+	x := dense.NewMatrix(n, d)
+	x.FillGaussian(21)
+	ix, err := NewIndex(x, "float32")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ivf, err := BuildANN(ix, ann.Config{Enabled: true, MinRows: 1, NList: 8, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	points, err := RunFrontier(context.Background(), ix, ivf, []int{2, 8}, LoadConfig{
+		Workers:  2,
+		Requests: 60,
+		K:        5,
+		Seed:     9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 3 {
+		t.Fatalf("%d points, want 3", len(points))
+	}
+	exact := points[0]
+	if exact.Mode != "exact" || exact.Recall != 1 || exact.ScannedFrac != 1 {
+		t.Fatalf("exact baseline %+v", exact)
+	}
+	for _, pt := range points[1:] {
+		if pt.Mode != "ivf" || pt.NProbe == 0 {
+			t.Fatalf("ivf point %+v", pt)
+		}
+		if pt.QPS <= 0 {
+			t.Fatalf("point %+v measured no throughput", pt)
+		}
+		if pt.Recall < 0 || pt.Recall > 1 {
+			t.Fatalf("recall %v out of range", pt.Recall)
+		}
+	}
+	// The partial probe is sub-linear; the balanced 8-list build keeps a
+	// 2-list probe near a quarter of the rows.
+	if frac := points[1].ScannedFrac; frac <= 0 || frac > 0.5 {
+		t.Fatalf("nprobe=2 scanned fraction %v", frac)
+	}
+	// nprobe=8 probes every list here: recall must be perfect (it scans all
+	// rows, so its fraction may exceed 1 by the self-row it skips).
+	if full := points[2]; full.Recall != 1 {
+		t.Fatalf("full-probe recall %v", full.Recall)
+	}
+	if s := points[1].String(); !strings.Contains(s, "nprobe=2") {
+		t.Fatalf("point string %q", s)
+	}
+	// No ANN index: only the exact baseline.
+	points, err = RunFrontier(context.Background(), ix, nil, []int{2}, LoadConfig{
+		Workers: 1, Requests: 10, K: 3, Seed: 1,
+	})
+	if err != nil || len(points) != 1 {
+		t.Fatalf("exact-only frontier: %d points, err %v", len(points), err)
 	}
 }

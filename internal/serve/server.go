@@ -212,6 +212,11 @@ type HealthResponse struct {
 	Dims            int     `json:"dims,omitempty"`
 	Staleness       float64 `json:"staleness"`
 	IngestRestarts  int64   `json:"ingest_restarts,omitempty"`
+	// ANN reports whether the current snapshot carries an IVF index (with
+	// its list/probe geometry), i.e. whether queries run sub-linear.
+	ANN       bool `json:"ann"`
+	ANNNList  int  `json:"ann_nlist,omitempty"`
+	ANNNProbe int  `json:"ann_nprobe,omitempty"`
 }
 
 // snapshotOr503 loads the current snapshot, answering 503 when the store
@@ -277,11 +282,12 @@ func (s *Server) handleNeighbors(w http.ResponseWriter, r *http.Request) {
 		writeError(w, status, "%v", err)
 		return
 	}
-	idx, scores, err := snap.Index.TopK(q.Vertex, k)
+	idx, scores, scanned, approx, err := snap.Search(q.Vertex, k)
 	if err != nil {
 		writeError(w, http.StatusInternalServerError, "query failed: %v", err)
 		return
 	}
+	s.metrics.ObserveSearch(approx, scanned)
 	writeJSON(w, http.StatusOK, NeighborsResponse{
 		Vertex:          q.Vertex,
 		K:               k,
@@ -313,9 +319,10 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		res := BatchResult{Vertex: q.Vertex}
 		if k, _, err := resolveQuery(snap, q); err != nil {
 			res.Error = err.Error()
-		} else if idx, scores, err := snap.Index.TopK(q.Vertex, k); err != nil {
+		} else if idx, scores, scanned, approx, err := snap.Search(q.Vertex, k); err != nil {
 			res.Error = err.Error()
 		} else {
+			s.metrics.ObserveSearch(approx, scanned)
 			res.Neighbors = neighborResults(idx, scores)
 		}
 		resp.Results[i] = res
@@ -358,6 +365,11 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 		Vertices:        snap.Index.Rows(),
 		Dims:            snap.Index.Dims(),
 		Staleness:       snap.Staleness,
+	}
+	if snap.ANN != nil {
+		h.ANN = true
+		h.ANNNList = snap.ANN.NList()
+		h.ANNNProbe = snap.ANN.NProbe()
 	}
 	if s.ingester != nil {
 		if st := s.ingester.Status(); st.State == "degraded" {
