@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: tier1 build test race vet bench bench-drain bench-sample serve-bench check all
+.PHONY: tier1 build test race vet fuzz bench bench-drain bench-sample serve-bench check all
 
 all: tier1 vet
 
@@ -22,14 +22,32 @@ test:
 # lock-free aggregation path (hash table + sharded aggregators + par
 # primitives) under Add/grow/Get interleaving, the sampler's end-to-end
 # sampler → sharded table → grouped drain stress test (undersized tables
-# force concurrent grows), and the fault-injection harness driving the
-# supervised ingest loop. The second line runs the root package's
-# crash-safe checkpoint and fault-injection tests (kill-mid-write, CRC
-# fallback) under the detector without dragging the full factorization
-# test suite through -race.
+# force concurrent grows), the parallel compressed-adjacency builder
+# (unsorted-input error reporting races the workers), and the
+# fault-injection harness driving the supervised ingest loop. The second
+# line runs the root package's crash-safe checkpoint and fault-injection
+# tests (kill-mid-write, CRC fallback) under the detector without dragging
+# the full factorization test suite through -race.
 race:
-	$(GO) test -race ./internal/serve ./internal/ann ./internal/dynamic ./internal/hashtable ./internal/aggregate ./internal/par ./internal/sampler ./internal/faultinject
+	$(GO) test -race ./internal/serve ./internal/ann ./internal/dynamic ./internal/hashtable ./internal/aggregate ./internal/par ./internal/sampler ./internal/compress ./internal/faultinject
 	$(GO) test -race -run 'Checkpoint|Embedding' .
+
+# Short runs of every fuzz target: the text/binary embedding readers and the
+# public graph loader (root), the edge-list/binary graph loaders (graph),
+# the COO builder (sparse), and the compressed-adjacency decoders
+# (compress). Each target gets a few seconds — enough to replay the corpus
+# and catch regressions in the checked decode paths; leave a target running
+# longer with e.g. `go test -fuzz FuzzDecode -fuzztime 5m ./internal/compress`.
+FUZZTIME ?= 5s
+fuzz:
+	$(GO) test -run xxx -fuzz FuzzReadEmbeddingText -fuzztime $(FUZZTIME) .
+	$(GO) test -run xxx -fuzz FuzzReadEmbeddingBinary -fuzztime $(FUZZTIME) .
+	$(GO) test -run xxx -fuzz 'FuzzReadEmbedding$$' -fuzztime $(FUZZTIME) .
+	$(GO) test -run xxx -fuzz FuzzLoadGraphPublic -fuzztime $(FUZZTIME) .
+	$(GO) test -run xxx -fuzz FuzzLoadEdgeList -fuzztime $(FUZZTIME) ./internal/graph
+	$(GO) test -run xxx -fuzz FuzzReadBinary -fuzztime $(FUZZTIME) ./internal/graph
+	$(GO) test -run xxx -fuzz FuzzFromCOO -fuzztime $(FUZZTIME) ./internal/sparse
+	$(GO) test -run xxx -fuzz FuzzDecode -fuzztime $(FUZZTIME) ./internal/compress
 
 # One verification entry point: build + tests + static checks + race.
 check: tier1 vet race
@@ -47,12 +65,13 @@ bench:
 bench-drain:
 	$(GO) test -run xxx -bench 'BenchmarkDrain|BenchmarkAggregate|BenchmarkGroupCSR|BenchmarkFromCOO' -benchmem -count=5 ./internal/hashtable ./internal/aggregate ./internal/radix ./internal/sparse
 
-# Sampler pipeline benchmarks: the per-arc sampler, the retained serial-flush
-# baseline, and the wave pipeline (single-table and sharded), then the
-# wall-clock runner that records ns/op, heads/s and the table's memory
-# high-water mark into BENCH_sampler.json.
+# Sampler pipeline benchmarks: the per-arc sampler, the test-only
+# serial-flush reference, the wave pipeline (single-table and sharded), and
+# the pipeline walking the compressed adjacency natively, then the
+# wall-clock runner that records ns/op, heads/s, the table's memory
+# high-water mark and the raw-vs-compressed pair into BENCH_sampler.json.
 bench-sample:
-	$(GO) test -run xxx -bench 'BenchmarkSample$$|BenchmarkSampleSerialFlush|BenchmarkSampleBatched|BenchmarkSamplePipelined' -benchmem -count=3 ./internal/sampler
+	$(GO) test -run xxx -bench 'BenchmarkSample$$|BenchmarkSampleSerialFlush|BenchmarkSampleBatched$$|BenchmarkSamplePipelined|BenchmarkSampleBatchedCompressed' -benchmem -count=3 ./internal/sampler
 	$(GO) run ./cmd/lightne-sampler-bench -out BENCH_sampler.json
 
 # Quick serving throughput/latency check (closed-loop load generator).

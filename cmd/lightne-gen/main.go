@@ -19,12 +19,13 @@ import (
 
 func main() {
 	var (
-		dataset = flag.String("dataset", "", "replica name (required); -list shows options")
-		out     = flag.String("out", "-", "edge-list output file ('-' for stdout)")
-		binary  = flag.Bool("binary", false, "write the LNG1 binary CSR format instead of text")
-		labels  = flag.String("labels", "", "labels output file (optional; only for labeled replicas)")
-		seed    = flag.Uint64("seed", 1, "random seed")
-		list    = flag.Bool("list", false, "list available replicas and exit")
+		dataset  = flag.String("dataset", "", "replica name (required); -list shows options")
+		out      = flag.String("out", "-", "edge-list output file ('-' for stdout)")
+		binary   = flag.Bool("binary", false, "write the LNG1 binary CSR format instead of text")
+		compress = flag.Bool("compress", false, "with -binary: write the LNGC compressed format (what lightne -mmap loads)")
+		labels   = flag.String("labels", "", "labels output file (optional; only for labeled replicas)")
+		seed     = flag.Uint64("seed", 1, "random seed")
+		list     = flag.Bool("list", false, "list available replicas and exit")
 	)
 	flag.Parse()
 	if *list {
@@ -53,10 +54,20 @@ func main() {
 		w = f
 	}
 	if *binary {
+		if *compress {
+			cg, err := lightne.CompressGraph(g, 0)
+			if err != nil {
+				fatal(err)
+			}
+			g = cg
+		}
 		if err := g.WriteBinary(w); err != nil {
 			fatal(err)
 		}
 	} else {
+		if *compress {
+			fatal(fmt.Errorf("-compress requires -binary (the text format is uncompressed)"))
+		}
 		bw := bufio.NewWriter(w)
 		for u := 0; u < g.NumVertices(); u++ {
 			for _, v := range g.Neighbors(uint32(u), nil) {

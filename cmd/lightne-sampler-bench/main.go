@@ -1,15 +1,20 @@
 // Command lightne-sampler-bench measures the sampling pipeline variants on a
 // synthetic RMAT graph and writes the results as JSON (BENCH_sampler.json):
-// wall-clock ns per full sampling pass, head throughput, and the hash-table
-// memory high-water mark for
+// wall-clock ns per full sampling pass, head throughput, the hash-table
+// memory high-water mark, and the adjacency storage each variant walks, for
 //
-//   - sample:        the per-arc reference sampler (walks interleaved with
-//     inserts),
-//   - serial-flush:  the pre-pipeline batched sampler (serial enumeration,
-//     serial per-wave flush, serial compaction), kept as the baseline,
-//   - batched:       the wave pipeline on a single shared table,
-//   - pipelined:     the wave pipeline draining into a sharded sink through
-//     radix-partitioned batch inserts.
+//   - sample:                the per-arc reference sampler (walks interleaved
+//     with inserts), the baseline,
+//   - batched:               the wave pipeline on a single shared table,
+//   - pipelined:             the wave pipeline draining into a sharded sink
+//     through radix-partitioned batch inserts,
+//   - pipelined-compressed:  the same pipeline walking the parallel-byte
+//     compressed adjacency natively (wave-local block decoding; no
+//     uncompressed edge array exists at any point).
+//
+// The pipelined/pipelined-compressed pair isolates the cost of walking
+// compressed: identical config, identical output, only the adjacency
+// representation differs.
 //
 // Usage:
 //
@@ -26,6 +31,7 @@ import (
 	"time"
 
 	"lightne/internal/gen"
+	"lightne/internal/graph"
 	"lightne/internal/sampler"
 )
 
@@ -36,6 +42,7 @@ type result struct {
 	Heads          int64   `json:"heads"`
 	PeakTableBytes int64   `json:"peak_table_bytes"`
 	TableBytes     int64   `json:"table_bytes"`
+	GraphBytes     int64   `json:"graph_bytes"`
 }
 
 type report struct {
@@ -47,32 +54,42 @@ type report struct {
 	M               int64    `json:"m"`
 	WaveSize        int      `json:"wave_size"`
 	Shards          int      `json:"shards"`
+	BlockSize       int      `json:"block_size"`
 	Reps            int      `json:"reps"`
 	Results         []result `json:"results"`
-	// SpeedupBatched / SpeedupPipelined are serial-flush ns/op divided by the
-	// variant's ns/op (higher is better; > 1 means the pipeline wins).
-	SpeedupBatched   float64 `json:"speedup_batched_vs_serial_flush"`
-	SpeedupPipelined float64 `json:"speedup_pipelined_vs_serial_flush"`
-	Note             string  `json:"note,omitempty"`
+	// Speedups are the sample baseline's ns/op divided by the variant's
+	// ns/op (higher is better; > 1 means the variant wins). The compressed
+	// ratio compares pipelined-compressed against pipelined — the slowdown
+	// paid for walking the compressed adjacency natively.
+	SpeedupBatched       float64 `json:"speedup_batched_vs_sample"`
+	SpeedupPipelined     float64 `json:"speedup_pipelined_vs_sample"`
+	CompressedVsRaw      float64 `json:"compressed_ns_over_raw_ns"`
+	GraphCompressionRate float64 `json:"graph_bytes_raw_over_compressed"`
+	Note                 string  `json:"note,omitempty"`
 }
 
 func main() {
 	var (
-		scale    = flag.Int("scale", 12, "RMAT scale (2^scale vertices)")
-		edgeFac  = flag.Int("edge-factor", 8, "RMAT edges per vertex")
-		t        = flag.Int("t", 10, "window size T")
-		m        = flag.Int64("m", 2_000_000, "sample budget M")
-		waveSize = flag.Int("wave-size", 0, "wave size (0 = default)")
-		shards   = flag.Int("shards", 4, "shard count for the pipelined variant")
-		reps     = flag.Int("reps", 3, "runs per variant (best is reported)")
-		procs    = flag.Int("procs", 4, "GOMAXPROCS for the measurement")
-		seed     = flag.Uint64("seed", 1, "random seed")
-		out      = flag.String("out", "BENCH_sampler.json", "output path ('-' for stdout)")
+		scale     = flag.Int("scale", 12, "RMAT scale (2^scale vertices)")
+		edgeFac   = flag.Int("edge-factor", 8, "RMAT edges per vertex")
+		t         = flag.Int("t", 10, "window size T")
+		m         = flag.Int64("m", 2_000_000, "sample budget M")
+		waveSize  = flag.Int("wave-size", 0, "wave size (0 = default)")
+		shards    = flag.Int("shards", 4, "shard count for the pipelined variants")
+		blockSize = flag.Int("block-size", 0, "compressed block size (0 = default)")
+		reps      = flag.Int("reps", 3, "runs per variant (best is reported)")
+		procs     = flag.Int("procs", 4, "GOMAXPROCS for the measurement")
+		seed      = flag.Uint64("seed", 1, "random seed")
+		out       = flag.String("out", "BENCH_sampler.json", "output path ('-' for stdout)")
 	)
 	flag.Parse()
 	runtime.GOMAXPROCS(*procs)
 
 	g, err := gen.RMAT(gen.RMATConfig{Scale: *scale, EdgeFactor: *edgeFac, Seed: *seed})
+	if err != nil {
+		fatal(err)
+	}
+	cg, err := g.ToCompressed(*blockSize)
 	if err != nil {
 		fatal(err)
 	}
@@ -82,22 +99,23 @@ func main() {
 
 	variants := []struct {
 		name string
+		g    *graph.Graph
 		run  func() (sampler.Stats, error)
 	}{
-		{"sample", func() (sampler.Stats, error) {
+		{"sample", g, func() (sampler.Stats, error) {
 			_, stats, err := sampler.Sample(g, cfg)
 			return stats, err
 		}},
-		{"serial-flush", func() (sampler.Stats, error) {
-			_, stats, err := sampler.SampleBatchedSerial(g, cfg, *waveSize)
-			return stats, err
-		}},
-		{"batched", func() (sampler.Stats, error) {
+		{"batched", g, func() (sampler.Stats, error) {
 			_, stats, err := sampler.SampleBatched(g, cfg, *waveSize)
 			return stats, err
 		}},
-		{"pipelined", func() (sampler.Stats, error) {
+		{"pipelined", g, func() (sampler.Stats, error) {
 			_, stats, err := sampler.SampleBatched(g, shardedCfg, *waveSize)
+			return stats, err
+		}},
+		{"pipelined-compressed", cg, func() (sampler.Stats, error) {
+			_, stats, err := sampler.SampleBatched(cg, shardedCfg, *waveSize)
 			return stats, err
 		}},
 	}
@@ -111,6 +129,7 @@ func main() {
 		M:               *m,
 		WaveSize:        *waveSize,
 		Shards:          *shards,
+		BlockSize:       cg.BlockSize(),
 		Reps:            *reps,
 	}
 	for _, v := range variants {
@@ -118,13 +137,16 @@ func main() {
 		if err != nil {
 			fatal(fmt.Errorf("%s: %w", v.name, err))
 		}
-		fmt.Fprintf(os.Stderr, "%-13s %12d ns/op  %12.0f heads/s  peak %d B\n",
-			r.Name, r.NsPerOp, r.HeadsPerSec, r.PeakTableBytes)
+		r.GraphBytes = v.g.SizeBytes()
+		fmt.Fprintf(os.Stderr, "%-21s %12d ns/op  %12.0f heads/s  peak %d B  graph %d B\n",
+			r.Name, r.NsPerOp, r.HeadsPerSec, r.PeakTableBytes, r.GraphBytes)
 		rep.Results = append(rep.Results, r)
 	}
-	base := rep.Results[1].NsPerOp // serial-flush
-	rep.SpeedupBatched = float64(base) / float64(rep.Results[2].NsPerOp)
-	rep.SpeedupPipelined = float64(base) / float64(rep.Results[3].NsPerOp)
+	base := rep.Results[0].NsPerOp // sample
+	rep.SpeedupBatched = float64(base) / float64(rep.Results[1].NsPerOp)
+	rep.SpeedupPipelined = float64(base) / float64(rep.Results[2].NsPerOp)
+	rep.CompressedVsRaw = float64(rep.Results[3].NsPerOp) / float64(rep.Results[2].NsPerOp)
+	rep.GraphCompressionRate = float64(rep.Results[2].GraphBytes) / float64(rep.Results[3].GraphBytes)
 	if rep.HardwareThreads < rep.GoMaxProcs {
 		rep.Note = fmt.Sprintf("GOMAXPROCS=%d exceeds the host's %d hardware thread(s): "+
 			"worker-parallel stages time-slice one core, so recorded speedups are a floor, "+

@@ -34,7 +34,9 @@ func main() {
 		noDown     = flag.Bool("no-downsample", false, "disable edge downsampling (plain NetSMF sampling)")
 		compress   = flag.Bool("compress", false, "store the graph in Ligra+ parallel-byte compressed form")
 		weighted   = flag.Bool("weighted", false, "parse a third column as edge weight (\"u v w\" lines)")
-		binaryIn   = flag.Bool("binary-input", false, "read the LNG1 binary CSR format instead of text")
+		binaryIn   = flag.Bool("binary-input", false, "read the LNG1/LNGC binary format instead of text")
+		mmapIn     = flag.Bool("mmap", false, "memory-map -input as an LNGC compressed graph file (O(1) load, adjacency served from the page cache)")
+		validate   = flag.Bool("validate", false, "deep-check graph consistency after loading (recommended for untrusted -mmap files)")
 		binaryOut  = flag.Bool("binary", false, "write the embedding in the versioned binary format (what lightne-serve loads fastest)")
 		vertices   = flag.Int("n", 0, "vertex count (0 = infer from max ID)")
 		propOrder  = flag.Int("prop-order", 10, "spectral propagation polynomial order k")
@@ -51,35 +53,54 @@ func main() {
 		os.Exit(2)
 	}
 
-	in := os.Stdin
-	if *input != "-" {
-		f, err := os.Open(*input)
+	var g *lightne.Graph
+	var err error
+	if *mmapIn {
+		if *input == "-" {
+			fatal(fmt.Errorf("-mmap needs a file path, not stdin"))
+		}
+		if *weighted {
+			fatal(fmt.Errorf("-mmap and -weighted are mutually exclusive (LNGC graphs are unweighted)"))
+		}
+		g, err = lightne.MmapGraph(*input)
 		if err != nil {
 			fatal(err)
 		}
-		defer f.Close()
-		in = f
-	}
-	opts := lightne.DefaultGraphOptions()
-	opts.Compress = *compress
-	var g *lightne.Graph
-	var err error
-	switch {
-	case *binaryIn:
-		g, err = lightne.LoadGraphBinary(bufio.NewReader(in), opts)
-	case *weighted:
-		if *compress {
-			fatal(fmt.Errorf("-weighted and -compress are mutually exclusive"))
+		defer g.Munmap()
+	} else {
+		in := os.Stdin
+		if *input != "-" {
+			f, err := os.Open(*input)
+			if err != nil {
+				fatal(err)
+			}
+			defer f.Close()
+			in = f
 		}
-		g, err = lightne.LoadWeightedGraph(bufio.NewReader(in), *vertices)
-	default:
-		g, err = loadGraph(in, *vertices, opts)
+		opts := lightne.DefaultGraphOptions()
+		opts.Compress = *compress
+		switch {
+		case *binaryIn:
+			g, err = lightne.LoadGraphBinary(bufio.NewReader(in), opts)
+		case *weighted:
+			if *compress {
+				fatal(fmt.Errorf("-weighted and -compress are mutually exclusive"))
+			}
+			g, err = lightne.LoadWeightedGraph(bufio.NewReader(in), *vertices)
+		default:
+			g, err = lightne.LoadGraphWithOptions(bufio.NewReader(in), *vertices, opts)
+		}
+		if err != nil {
+			fatal(err)
+		}
 	}
-	if err != nil {
-		fatal(err)
+	if *validate {
+		if err := g.Validate(); err != nil {
+			fatal(err)
+		}
 	}
 	fmt.Fprintf(os.Stderr, "loaded graph: %d vertices, %d undirected edges (adjacency %.1f MB%s)\n",
-		g.NumVertices(), g.NumEdges()/2, float64(g.SizeBytes())/1e6, compressedTag(*compress))
+		g.NumVertices(), g.NumEdges()/2, float64(g.SizeBytes())/1e6, compressedTag(g.Compressed()))
 
 	cfg := lightne.DefaultConfig(*dim)
 	cfg.T = *window
@@ -132,27 +153,6 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-}
-
-func loadGraph(f *os.File, n int, opts lightne.GraphOptions) (*lightne.Graph, error) {
-	// LoadGraph always uses default options; apply compression by rebuilding
-	// through the generic constructor when requested.
-	g, err := lightne.LoadGraph(bufio.NewReader(f), n)
-	if err != nil {
-		return nil, err
-	}
-	if !opts.Compress {
-		return g, nil
-	}
-	var arcs []lightne.Edge
-	for u := 0; u < g.NumVertices(); u++ {
-		for _, v := range g.Neighbors(uint32(u), nil) {
-			if uint32(u) < v {
-				arcs = append(arcs, lightne.Edge{U: uint32(u), V: v})
-			}
-		}
-	}
-	return lightne.NewGraph(g.NumVertices(), arcs, opts)
 }
 
 func compressedTag(c bool) string {

@@ -1,0 +1,151 @@
+package compress
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestCheckedMatchesUncheckedOnValidInput(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	adj := randomAdj(r, 50, 200)
+	a := mustBuild(t, adj, 7)
+	if err := a.Validate(); err != nil {
+		t.Fatalf("Validate on freshly built adjacency: %v", err)
+	}
+	for u, nbrs := range adj {
+		var got []uint32
+		if err := a.DecodeChecked(uint32(u), func(v uint32) { got = append(got, v) }); err != nil {
+			t.Fatalf("DecodeChecked(%d): %v", u, err)
+		}
+		if len(got) != len(nbrs) {
+			t.Fatalf("vertex %d: %d decoded, want %d", u, len(got), len(nbrs))
+		}
+		for i := range nbrs {
+			if got[i] != nbrs[i] {
+				t.Fatalf("vertex %d idx %d: %d want %d", u, i, got[i], nbrs[i])
+			}
+			nth, err := a.NthChecked(uint32(u), i)
+			if err != nil {
+				t.Fatalf("NthChecked(%d,%d): %v", u, i, err)
+			}
+			if nth != nbrs[i] {
+				t.Fatalf("NthChecked(%d,%d)=%d want %d", u, i, nth, nbrs[i])
+			}
+		}
+	}
+}
+
+func TestCheckedErrorsOnCorruptInput(t *testing.T) {
+	adj := [][]uint32{{10, 20, 30, 40, 50}, {0}}
+	a := mustBuild(t, adj, 2)
+	degrees, vtxOffsets, data := a.Sections()
+
+	// Truncate the payload at every length: the checked path must error
+	// (never panic) everywhere except the full length.
+	for cut := 0; cut < len(data); cut++ {
+		offs := append([]uint64(nil), vtxOffsets...)
+		for i := range offs {
+			if offs[i] > uint64(cut) {
+				offs[i] = uint64(cut)
+			}
+		}
+		trunc, err := FromSections(degrees, offs, data[:cut], a.BlockSize())
+		if err != nil {
+			continue // structurally rejected: also fine
+		}
+		if err := trunc.Validate(); err == nil {
+			t.Fatalf("cut=%d: truncated adjacency validated", cut)
+		}
+	}
+
+	// Flip every payload byte: Validate must never panic and Decode output
+	// must stay degree-bounded when it does pass (a flipped diff byte can
+	// still be a well-formed encoding of different neighbors).
+	for i := range data {
+		mut := append([]byte(nil), data...)
+		mut[i] ^= 0xff
+		m, err := FromSections(degrees, vtxOffsets, mut, a.BlockSize())
+		if err != nil {
+			continue
+		}
+		if err := m.Validate(); err != nil {
+			continue
+		}
+		n := 0
+		if err := m.DecodeChecked(0, func(uint32) { n++ }); err == nil && n != int(degrees[0]) {
+			t.Fatalf("byte %d: decode yielded %d neighbors, degree says %d", i, n, degrees[0])
+		}
+	}
+}
+
+func TestNthCheckedOutOfRange(t *testing.T) {
+	a := mustBuild(t, [][]uint32{{1}, {0}}, 0)
+	if _, err := a.NthChecked(0, 1); err == nil {
+		t.Fatal("expected index error")
+	}
+	if _, err := a.NthChecked(0, -1); err == nil {
+		t.Fatal("expected negative-index error")
+	}
+	if _, err := a.NthChecked(9, 0); err == nil {
+		t.Fatal("expected vertex-range error")
+	}
+}
+
+func TestFromSectionsStructuralErrors(t *testing.T) {
+	if _, err := FromSections([]uint32{1}, []uint64{0}, nil, 64); err == nil {
+		t.Fatal("expected length-mismatch error")
+	}
+	if _, err := FromSections([]uint32{1}, []uint64{0, 5}, []byte{1}, 64); err == nil {
+		t.Fatal("expected payload-length error")
+	}
+	if _, err := FromSections([]uint32{1}, []uint64{1, 1}, []byte{1}, 64); err == nil {
+		t.Fatal("expected nonzero-first-offset error")
+	}
+	if _, err := FromSections(nil, []uint64{0}, nil, 0); err == nil {
+		t.Fatal("expected block-size error")
+	}
+	// Decreasing offsets pass the O(1) checks but must fail Validate.
+	a, err := FromSections([]uint32{1, 1, 1}, []uint64{0, 2, 1, 2}, []byte{0, 0}, 64)
+	if err != nil {
+		t.Fatalf("FromSections: %v", err)
+	}
+	if err := a.Validate(); err == nil {
+		t.Fatal("expected Validate to reject decreasing vertex offsets")
+	}
+	// A degree-1 vertex with an empty region is caught by the decode check.
+	b, err := FromSections([]uint32{1, 1}, []uint64{0, 1, 1}, []byte{0}, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Validate(); err == nil {
+		t.Fatal("expected Validate to reject vertex 1's empty region with degree 1")
+	}
+}
+
+// TestSectionsRoundTrip certifies verbatim reassembly: FromSections over
+// Sections yields an adjacency whose decode output is bit-identical.
+func TestSectionsRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	adj := randomAdj(r, 40, 90)
+	a := mustBuild(t, adj, 5)
+	degrees, vtxOffsets, data := a.Sections()
+	b, err := FromSections(degrees, vtxOffsets, data, a.BlockSize())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for u := range adj {
+		wa := a.Neighbors(uint32(u), nil)
+		wb := b.Neighbors(uint32(u), nil)
+		if len(wa) != len(wb) {
+			t.Fatalf("vertex %d: %d vs %d neighbors", u, len(wa), len(wb))
+		}
+		for i := range wa {
+			if wa[i] != wb[i] {
+				t.Fatalf("vertex %d idx %d: %d vs %d", u, i, wa[i], wb[i])
+			}
+		}
+	}
+}

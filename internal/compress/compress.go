@@ -20,6 +20,7 @@ package compress
 import (
 	"fmt"
 	"math/bits"
+	"sync/atomic"
 
 	"lightne/internal/par"
 )
@@ -152,21 +153,28 @@ func Build(offsets []int64, edges []uint32, blockSize int) (*Adjacency, error) {
 		blockSize:  blockSize,
 	}
 	sizes := make([]int64, n)
-	var buildErr error
+	// badVertex is a lock-free error slot: concurrent workers race to CAS the
+	// first unsorted vertex they see (stored as u+1 so zero means "none"), and
+	// every worker early-outs once any failure is published. A plain shared
+	// error variable here was a data race when two chunks failed at once.
+	var badVertex atomic.Int64
 	par.For(n, 256, func(u int) {
+		if badVertex.Load() != 0 {
+			return
+		}
 		lo, hi := offsets[u], offsets[u+1]
 		nbrs := edges[lo:hi]
 		for i := 1; i < len(nbrs); i++ {
 			if nbrs[i] < nbrs[i-1] {
-				buildErr = fmt.Errorf("compress: neighbors of vertex %d not sorted", u)
+				badVertex.CompareAndSwap(0, int64(u)+1)
 				return
 			}
 		}
 		a.degrees[u] = uint32(hi - lo)
 		sizes[u] = int64(encodedSize(uint32(u), nbrs, blockSize))
 	})
-	if buildErr != nil {
-		return nil, buildErr
+	if bad := badVertex.Load(); bad != 0 {
+		return nil, fmt.Errorf("compress: neighbors of vertex %d not sorted", bad-1)
 	}
 	total := par.ExclusiveScan(sizes)
 	for u := 0; u < n; u++ {
@@ -245,12 +253,7 @@ func (a *Adjacency) Nth(u uint32, i int) uint32 {
 		panic(fmt.Sprintf("compress: neighbor index %d out of range for vertex %d (degree %d)", i, u, d))
 	}
 	block := i / a.blockSize
-	pos := tab
-	if block > 0 {
-		off := block - 1
-		rel := uint32(data[4*off]) | uint32(data[4*off+1])<<8 | uint32(data[4*off+2])<<16 | uint32(data[4*off+3])<<24
-		pos = tab + int(rel)
-	}
+	pos := blockStart(data, tab, block)
 	raw, p := getVarint(data, pos)
 	pos = p
 	v := uint32(int64(u) + unzigzag(raw))

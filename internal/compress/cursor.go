@@ -1,0 +1,106 @@
+package compress
+
+// Block-granular decoding for the batched walker (paper §4.2). The wave
+// sampler radix-groups walk states by current vertex between steps, so all
+// lookups against one vertex's adjacency arrive back to back. A Cursor
+// exploits that: it decodes each block the group actually touches once into
+// a caller-owned buffer and serves every subsequent lookup by indexing,
+// replacing the per-lookup block re-decode Nth pays (O(blockSize) varint
+// work per walk step).
+
+// NumBlocks returns the number of encoded blocks of vertex u (0 for
+// isolated vertices).
+func (a *Adjacency) NumBlocks(u uint32) int {
+	d := int(a.degrees[u])
+	if d == 0 {
+		return 0
+	}
+	return (d + a.blockSize - 1) / a.blockSize
+}
+
+// blockStart returns the position of the given block inside the vertex
+// region (data), whose block table occupies the first tab bytes.
+func blockStart(data []byte, tab, block int) int {
+	if block == 0 {
+		return tab
+	}
+	off := block - 1
+	rel := uint32(data[4*off]) | uint32(data[4*off+1])<<8 | uint32(data[4*off+2])<<16 | uint32(data[4*off+3])<<24
+	return tab + int(rel)
+}
+
+// DecodeBlock appends the neighbors of vertex u stored in the given block
+// (full blocks hold BlockSize neighbors; the last may be short) to dst and
+// returns the extended slice. Like Decode, it trusts the encoding; use the
+// checked path for untrusted bytes. Panics if block is out of range.
+func (a *Adjacency) DecodeBlock(u uint32, block int, dst []uint32) []uint32 {
+	data, tab, d, ok := a.region(u)
+	if !ok || block < 0 || block >= a.NumBlocks(u) {
+		panic("compress: block index out of range")
+	}
+	lo := block * a.blockSize
+	hi := lo + a.blockSize
+	if hi > d {
+		hi = d
+	}
+	pos := blockStart(data, tab, block)
+	raw, p := getVarint(data, pos)
+	pos = p
+	v := uint32(int64(u) + unzigzag(raw))
+	dst = append(dst, v)
+	for i := lo + 1; i < hi; i++ {
+		diff, p := getVarint(data, pos)
+		pos = p
+		v += uint32(diff)
+		dst = append(dst, v)
+	}
+	return dst
+}
+
+// Cursor serves repeated Nth lookups against one vertex at a time, decoding
+// each needed block at most once per Begin. It owns a reusable buffer, so a
+// long-lived per-worker Cursor performs no steady-state allocation. The
+// zero value is ready to use. Not safe for concurrent use.
+type Cursor struct {
+	a     *Adjacency
+	u     uint32
+	block int  // cached block index in lazy mode; -1 = none
+	lazy  bool // buf caches one block on demand instead of the full list
+	buf   []uint32
+}
+
+// Begin prepares the cursor to serve roughly k Nth lookups for vertex u.
+// When k covers the vertex's blocks (k >= NumBlocks), the whole adjacency is
+// decoded up front — every block is needed in expectation and decoding
+// sequentially is cheaper than per-block table hops. For sparser groups the
+// cursor stays lazy, decoding only the blocks lookups actually land in.
+func (c *Cursor) Begin(a *Adjacency, u uint32, k int) {
+	c.a, c.u = a, u
+	nb := a.NumBlocks(u)
+	if nb == 0 {
+		c.lazy = false
+		c.buf = c.buf[:0]
+		return
+	}
+	if k >= nb {
+		c.lazy = false
+		c.buf = a.Neighbors(u, c.buf[:0])
+		return
+	}
+	c.lazy = true
+	c.block = -1
+}
+
+// Nth returns the i-th neighbor (0-based) of the vertex passed to Begin.
+// Panics if i is out of range, like Adjacency.Nth.
+func (c *Cursor) Nth(i int) uint32 {
+	if !c.lazy {
+		return c.buf[i]
+	}
+	b := i / c.a.blockSize
+	if b != c.block {
+		c.buf = c.a.DecodeBlock(c.u, b, c.buf[:0])
+		c.block = b
+	}
+	return c.buf[i-b*c.a.blockSize]
+}

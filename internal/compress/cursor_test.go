@@ -1,0 +1,114 @@
+package compress
+
+import (
+	"math/rand"
+	"runtime"
+	"sort"
+	"testing"
+)
+
+// randomAdj builds a sorted random adjacency for n vertices with degrees up
+// to maxDeg (duplicates allowed — the format is a multigraph codec).
+func randomAdj(r *rand.Rand, n, maxDeg int) [][]uint32 {
+	adj := make([][]uint32, n)
+	for u := range adj {
+		d := r.Intn(maxDeg + 1)
+		for i := 0; i < d; i++ {
+			adj[u] = append(adj[u], uint32(r.Intn(n)))
+		}
+		sort.Slice(adj[u], func(i, j int) bool { return adj[u][i] < adj[u][j] })
+	}
+	return adj
+}
+
+func TestDecodeBlockMatchesDecode(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 10; trial++ {
+		blockSize := 1 + r.Intn(20)
+		adj := randomAdj(r, 80, 150)
+		a := mustBuild(t, adj, blockSize)
+		for u, want := range adj {
+			var got []uint32
+			for b := 0; b < a.NumBlocks(uint32(u)); b++ {
+				got = a.DecodeBlock(uint32(u), b, got)
+			}
+			if len(got) != len(want) {
+				t.Fatalf("vertex %d: %d neighbors via blocks, want %d", u, len(got), len(want))
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("vertex %d idx %d: block decode %d want %d", u, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+func TestCursorMatchesNth(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	adj := randomAdj(r, 60, 300)
+	for _, blockSize := range []int{1, 3, 16, 64} {
+		a := mustBuild(t, adj, blockSize)
+		var c Cursor
+		for u, nbrs := range adj {
+			if len(nbrs) == 0 {
+				c.Begin(a, uint32(u), 1)
+				continue
+			}
+			// Sweep group sizes across the lazy/full threshold (NumBlocks).
+			for _, k := range []int{1, 2, a.NumBlocks(uint32(u)), 4 * a.NumBlocks(uint32(u))} {
+				c.Begin(a, uint32(u), k)
+				for rep := 0; rep < k; rep++ {
+					i := r.Intn(len(nbrs))
+					if got, want := c.Nth(i), nbrs[i]; got != want {
+						t.Fatalf("blockSize=%d u=%d k=%d i=%d: cursor %d want %d", blockSize, u, k, i, got, want)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestCursorReusedAcrossVertices(t *testing.T) {
+	adj := [][]uint32{{1, 2, 3, 4, 5}, {0}, {0}, {0}, {0}, {0}}
+	a := mustBuild(t, adj, 2)
+	var c Cursor
+	c.Begin(a, 0, 100) // full decode of vertex 0
+	if c.Nth(4) != 5 {
+		t.Fatal("full-mode lookup failed")
+	}
+	c.Begin(a, 1, 1) // switch vertex in lazy mode
+	if c.Nth(0) != 0 {
+		t.Fatal("cursor kept stale vertex data across Begin")
+	}
+	c.Begin(a, 0, 1) // back, lazy: block 2 holds index 4
+	if c.Nth(4) != 5 || c.Nth(3) != 4 {
+		t.Fatal("lazy-mode block hop failed after vertex switch")
+	}
+}
+
+// TestBuildUnsortedRace feeds Build a CSR whose unsorted vertices land in
+// different parallel chunks, so two workers detect failure concurrently.
+// Under -race this certifies the error slot is synchronized (the original
+// code assigned a shared error variable from both workers).
+func TestBuildUnsortedRace(t *testing.T) {
+	prev := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(prev)
+	n := 1024 // four 256-vertex chunks
+	offsets := make([]int64, n+1)
+	var edges []uint32
+	for u := 0; u < n; u++ {
+		offsets[u] = int64(len(edges))
+		if u == 3 || u == n-3 {
+			edges = append(edges, 9, 1) // unsorted, one per extreme chunk
+		} else {
+			edges = append(edges, uint32(u%7), uint32(u%7)+1)
+		}
+	}
+	offsets[n] = int64(len(edges))
+	for i := 0; i < 20; i++ {
+		if _, err := Build(offsets, edges, 4); err == nil {
+			t.Fatal("expected unsorted-input error")
+		}
+	}
+}

@@ -1,0 +1,58 @@
+package compress
+
+import "fmt"
+
+// Verbatim (de)serialization of an Adjacency, used by the LNGC on-disk
+// format: the three backing arrays round-trip untouched, so a graph
+// compressed once never needs re-encoding — and when the sections are views
+// into an mmap'd file, loading performs no per-edge work at all.
+
+// Sections exposes the backing arrays: per-vertex degrees (len n), byte
+// offsets of each vertex's encoded region (len n+1), and the encoded
+// payload. Callers must treat them as read-only.
+func (a *Adjacency) Sections() (degrees []uint32, vtxOffsets []uint64, data []byte) {
+	return a.degrees, a.vtxOffsets, a.data
+}
+
+// FromSections reassembles an Adjacency around existing backing arrays
+// (typically views into an mmap'd LNGC file) without copying. Only O(1)
+// structural facts are verified here, keeping cold starts constant-time;
+// the per-vertex invariants that the unchecked decoders rely on (monotone
+// vertex offsets, well-formed varints, consistent block tables) are
+// certified by Validate, which untrusted files should be run through before
+// the panicking fast paths touch them.
+func FromSections(degrees []uint32, vtxOffsets []uint64, data []byte, blockSize int) (*Adjacency, error) {
+	if blockSize <= 0 {
+		return nil, fmt.Errorf("compress: block size %d must be positive", blockSize)
+	}
+	if len(vtxOffsets) != len(degrees)+1 {
+		return nil, fmt.Errorf("compress: %d vertex offsets for %d degrees (want n+1)", len(vtxOffsets), len(degrees))
+	}
+	if vtxOffsets[0] != 0 {
+		return nil, fmt.Errorf("compress: first vertex offset is %d, want 0", vtxOffsets[0])
+	}
+	if last := vtxOffsets[len(vtxOffsets)-1]; last != uint64(len(data)) {
+		return nil, fmt.Errorf("compress: vertex offsets end at %d but payload has %d bytes", last, len(data))
+	}
+	return &Adjacency{degrees: degrees, vtxOffsets: vtxOffsets, data: data, blockSize: blockSize}, nil
+}
+
+// Validate deep-checks the structure end to end: monotone vertex offsets,
+// every region decodable with bounded reads, block tables consistent with
+// sequential decoding, and region sizes exactly matching the declared
+// degrees. Runs serially in O(data); a nil return certifies the unchecked
+// Decode/Nth/DecodeBlock paths are in-bounds for every vertex.
+func (a *Adjacency) Validate() error {
+	for u := 0; u < len(a.degrees); u++ {
+		if a.vtxOffsets[u] > a.vtxOffsets[u+1] {
+			return fmt.Errorf("compress: vertex offsets decrease at vertex %d", u)
+		}
+		if a.degrees[u] == 0 && a.vtxOffsets[u] != a.vtxOffsets[u+1] {
+			return fmt.Errorf("compress: isolated vertex %d has a non-empty region", u)
+		}
+		if err := a.DecodeChecked(uint32(u), func(uint32) {}); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"lightne/internal/graph"
+	"lightne/internal/par"
 	"lightne/internal/sampler"
 )
 
@@ -31,6 +32,13 @@ type MemoryEstimate struct {
 	// WalkBufferBytes is the batched walker's pipeline scratch (head
 	// records plus wave state/drain buffers); zero unless BatchedWalks.
 	WalkBufferBytes int64
+	// DecodeBufferBytes is the transient for walking a compressed graph
+	// natively: one NeighborCursor decode buffer per worker, each at most
+	// (max degree + block size) uint32s (a full-adjacency decode of the
+	// highest-degree vertex, rounded up to a whole block). Zero unless
+	// BatchedWalks on a compressed graph — the raw-CSR walker reads
+	// adjacency in place.
+	DecodeBufferBytes int64
 	// SparsifierBytes is the CSR holding the drained, trunc-logged matrix.
 	SparsifierBytes int64
 	// DenseBytes covers the randomized-SVD sketch matrices and the
@@ -45,7 +53,8 @@ type MemoryEstimate struct {
 // grow-transient high-water mark (PeakTableBytes), not the steady state,
 // so a run whose size hint was wrong still fits the reported budget.
 func (m MemoryEstimate) Total() int64 {
-	return m.PeakTableBytes + m.WalkBufferBytes + m.SparsifierBytes + m.DenseBytes + m.GraphBytes
+	return m.PeakTableBytes + m.WalkBufferBytes + m.DecodeBufferBytes +
+		m.SparsifierBytes + m.DenseBytes + m.GraphBytes
 }
 
 // expectedHeadFraction computes E[p_e] over directed arcs for the config's
@@ -122,6 +131,19 @@ func EstimateMemory(g *graph.Graph, cfg Config) (MemoryEstimate, error) {
 		est.WalkBufferBytes = 24*heads + 64*wave
 		if cfg.Shards > 1 {
 			est.WalkBufferBytes += 32 * wave
+		}
+		if g.Compressed() {
+			// Walking compressed never materializes the edge array; the only
+			// new transient is one cursor decode buffer per worker, sized for
+			// a full decode of the hub vertex (plus one block of slack for
+			// the lazy path's cache).
+			maxDeg := 0
+			for u := 0; u < g.NumVertices(); u++ {
+				if d := g.Degree(uint32(u)); d > maxDeg {
+					maxDeg = d
+				}
+			}
+			est.DecodeBufferBytes = int64(par.Workers()) * int64(maxDeg+g.BlockSize()) * 4
 		}
 	}
 	// Randomized SVD keeps ~5 dense n×k float64 matrices (O, Y, B, Z and a

@@ -43,7 +43,8 @@ func TestBinaryRoundtrip(t *testing.T) {
 }
 
 func TestBinaryRoundtripCompressedSource(t *testing.T) {
-	// A compressed graph serializes to plain CSR and reloads compressed.
+	// A compressed graph serializes to LNGC and reloads compressed without
+	// re-encoding (the stored block size wins over the requested one).
 	arcs := []Edge{{0, 1}, {1, 2}, {2, 3}, {3, 0}, {0, 2}}
 	opt := DefaultOptions()
 	opt.Compress = true

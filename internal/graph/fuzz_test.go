@@ -40,8 +40,19 @@ func FuzzReadBinary(f *testing.F) {
 		f.Fatal(err)
 	}
 	f.Add(buf.Bytes())
+	// And a valid LNGC (compressed) serialization.
+	cg, err := g.ToCompressed(2)
+	if err != nil {
+		f.Fatal(err)
+	}
+	var cbuf bytes.Buffer
+	if err := cg.WriteBinary(&cbuf); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(cbuf.Bytes())
 	f.Add([]byte{})
 	f.Add([]byte("LNG1garbage"))
+	f.Add([]byte("LNGCgarbage"))
 	f.Fuzz(func(t *testing.T, data []byte) {
 		g, err := ReadBinary(bytes.NewReader(data), Options{})
 		if err != nil {

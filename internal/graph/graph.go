@@ -36,6 +36,7 @@ type Graph struct {
 	comp    *compress.Adjacency
 	weights []float64 // nil for unweighted graphs; aligned with edges
 	alias   *aliasTables
+	mapped  []byte // LNGC mmap backing the arrays above, if Mmap-loaded
 }
 
 // Options controls graph construction.
@@ -144,6 +145,14 @@ func (g *Graph) Volume() float64 { return g.TotalWeight() }
 // Compressed reports whether adjacency is stored in parallel-byte form.
 func (g *Graph) Compressed() bool { return g.comp != nil }
 
+// BlockSize returns the compressed block size, or 0 for uncompressed graphs.
+func (g *Graph) BlockSize() int {
+	if g.comp == nil {
+		return 0
+	}
+	return g.comp.BlockSize()
+}
+
 // OffsetOf returns the CSR offset of vertex u's neighbor range; OffsetOf(n)
 // equals NumEdges. Exposed for samplers that binary-search degree prefix
 // sums (paper §4.2).
@@ -174,6 +183,63 @@ func (g *Graph) Neighbors(u uint32, dst []uint32) []uint32 {
 		return seg
 	}
 	return append(dst, seg...)
+}
+
+// NeighborCursor serves runs of i-th-neighbor lookups against one vertex at
+// a time — the access pattern of the batched walker, whose radix grouping
+// makes all lookups at a vertex arrive back to back. On uncompressed graphs
+// a lookup is the same slice index Neighbor performs; on compressed graphs
+// the cursor decodes each block the run touches once into its own reusable
+// buffer (compress.Cursor) instead of paying Nth's per-lookup block
+// re-decode. Keep one cursor per worker; it is not safe for concurrent use.
+type NeighborCursor struct {
+	g    *Graph
+	span []uint32 // current vertex's neighbor view (uncompressed graphs)
+	cc   compress.Cursor
+}
+
+// NewNeighborCursor returns a cursor over g's adjacency.
+func (g *Graph) NewNeighborCursor() NeighborCursor {
+	return NeighborCursor{g: g}
+}
+
+// Begin positions the cursor at vertex u, expecting roughly k Neighbor
+// calls. k only tunes the compressed decode strategy (full-list vs lazy
+// per-block); correctness does not depend on it.
+func (c *NeighborCursor) Begin(u uint32, k int) {
+	if c.g.comp != nil {
+		c.cc.Begin(c.g.comp, u, k)
+		return
+	}
+	c.span = c.g.edges[c.g.offsets[u]:c.g.offsets[u+1]]
+}
+
+// Neighbor returns the i-th neighbor of the vertex passed to Begin.
+func (c *NeighborCursor) Neighbor(i int) uint32 {
+	if c.g.comp != nil {
+		return c.cc.Nth(i)
+	}
+	return c.span[i]
+}
+
+// ToCompressed returns a graph with the same structure whose adjacency is
+// stored in the Ligra+ parallel-byte format, sharing this graph's offsets
+// array (the uncompressed edge array is not retained, so the caller
+// dropping the original graph drops the CSR footprint with it). Returns g
+// unchanged if it is already compressed. blockSize <= 0 selects the
+// default. Weighted graphs are not compressible.
+func (g *Graph) ToCompressed(blockSize int) (*Graph, error) {
+	if g.comp != nil {
+		return g, nil
+	}
+	if g.weights != nil {
+		return nil, fmt.Errorf("graph: weighted graphs do not support parallel-byte compression")
+	}
+	a, err := compress.Build(g.offsets, g.edges, blockSize)
+	if err != nil {
+		return nil, err
+	}
+	return &Graph{n: g.n, offsets: g.offsets, comp: a}, nil
 }
 
 // MapVertices calls fn(u) for every vertex in parallel.
@@ -267,7 +333,15 @@ func (g *Graph) SizeBytes() int64 {
 }
 
 // Validate performs internal consistency checks; useful in tests and after
-// loading untrusted inputs.
+// loading untrusted inputs — in particular an mmap'd LNGC file, whose
+// compressed payload the fast decode paths otherwise trust. Adjacency is
+// verified by sequential decode (one O(degree) pass per vertex); the old
+// implementation fetched each neighbor through Neighbor(u, i), which on
+// compressed graphs re-decoded the block prefix per index — O(degree ×
+// blockSize) per vertex, quadratic in degree for hubs. Compressed graphs
+// use the bounds-checked decoder, so corrupt or truncated encodings return
+// errors instead of panicking, and a nil result certifies the unchecked
+// hot paths (Decode, Nth, NeighborCursor) are in-bounds.
 func (g *Graph) Validate() error {
 	if len(g.offsets) != g.n+1 {
 		return fmt.Errorf("graph: offsets length %d, want %d", len(g.offsets), g.n+1)
@@ -276,16 +350,42 @@ func (g *Graph) Validate() error {
 		if g.offsets[u] > g.offsets[u+1] {
 			return fmt.Errorf("graph: offsets decrease at vertex %d", u)
 		}
+	}
+	if g.comp != nil {
+		if cn := g.comp.NumVertices(); cn != g.n {
+			return fmt.Errorf("graph: compressed adjacency has %d vertices, offsets say %d", cn, g.n)
+		}
+	} else if int64(len(g.edges)) != g.offsets[g.n] {
+		return fmt.Errorf("graph: %d edges stored but offsets end at %d", len(g.edges), g.offsets[g.n])
+	}
+	for u := 0; u < g.n; u++ {
 		prev := int64(-1)
-		for i := 0; i < g.Degree(uint32(u)); i++ {
-			v := g.Neighbor(uint32(u), i)
-			if int(v) >= g.n {
-				return fmt.Errorf("graph: vertex %d has neighbor %d >= n", u, v)
+		bad := ""
+		check := func(v uint32) {
+			if bad != "" {
+				return
 			}
-			if int64(v) < prev {
-				return fmt.Errorf("graph: vertex %d neighbors not sorted", u)
+			if int(v) >= g.n {
+				bad = fmt.Sprintf("graph: vertex %d has neighbor %d >= n", u, v)
+			} else if int64(v) < prev {
+				bad = fmt.Sprintf("graph: vertex %d neighbors not sorted", u)
 			}
 			prev = int64(v)
+		}
+		if g.comp != nil {
+			if cd := int64(g.comp.Degree(uint32(u))); cd != g.offsets[u+1]-g.offsets[u] {
+				return fmt.Errorf("graph: vertex %d compressed degree %d, offsets say %d", u, cd, g.offsets[u+1]-g.offsets[u])
+			}
+			if err := g.comp.DecodeChecked(uint32(u), check); err != nil {
+				return err
+			}
+		} else {
+			for _, v := range g.edges[g.offsets[u]:g.offsets[u+1]] {
+				check(v)
+			}
+		}
+		if bad != "" {
+			return fmt.Errorf("%s", bad)
 		}
 	}
 	return nil

@@ -1,0 +1,14 @@
+//go:build !unix
+
+package graph
+
+import "fmt"
+
+// Mmap is unavailable on this platform; load LNGC files with ReadBinary,
+// which streams the sections into memory without building a CSR edge array.
+func Mmap(path string) (*Graph, error) {
+	return nil, fmt.Errorf("graph: mmap loading is not supported on this platform; use ReadBinary")
+}
+
+// Munmap is a no-op on platforms without Mmap.
+func (g *Graph) Munmap() error { return nil }

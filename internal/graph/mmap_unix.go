@@ -1,0 +1,108 @@
+//go:build unix
+
+package graph
+
+import (
+	"encoding/binary"
+	"fmt"
+	"os"
+	"syscall"
+	"unsafe"
+)
+
+// Mmap maps an LNGC file (written by WriteBinary on a compressed graph)
+// and wraps the graph around the mapped sections in place: no decompression,
+// no copying, no CSR edge array — cold start parses the fixed-size header
+// and touches O(1) bytes, with adjacency pages faulted in on first access.
+// The mapping is read-only and shared, so many processes serving the same
+// graph share one physical copy.
+//
+// The sections are trusted the way an in-process build is: corrupt payload
+// bytes make the fast decode paths panic. For untrusted files, run
+// (*Graph).Validate() once after mapping — it uses the bounds-checked
+// decoder and certifies the fast paths in-bounds.
+//
+// Call Munmap when done; the Graph must not be used afterwards.
+func Mmap(path string) (*Graph, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	size := st.Size()
+	if size < lngcHeaderLen {
+		return nil, fmt.Errorf("graph: %s: too small for an LNGC header (%d bytes)", path, size)
+	}
+	if int64(int(size)) != size {
+		return nil, fmt.Errorf("graph: %s: file size %d overflows the address space", path, size)
+	}
+	m, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, fmt.Errorf("graph: mmap %s: %w", path, err)
+	}
+	g, err := fromMapped(m)
+	if err != nil {
+		syscall.Munmap(m)
+		return nil, fmt.Errorf("graph: %s: %w", path, err)
+	}
+	return g, nil
+}
+
+// fromMapped parses the header and casts the mapped sections in place.
+func fromMapped(m []byte) (*Graph, error) {
+	if binary.LittleEndian.Uint32(m) == graphMagic {
+		return nil, fmt.Errorf("plain LNG1 CSR files are not mmap-able; use ReadBinary, or rewrite compressed (LNGC)")
+	}
+	h, err := parseLNGCHeader(m)
+	if err != nil {
+		return nil, err
+	}
+	for i, s := range h.sections {
+		if s.off+s.len < s.off || s.off+s.len > uint64(len(m)) {
+			return nil, fmt.Errorf("LNGC section %d [%d,%d) exceeds the %d-byte file", i, s.off, s.off+s.len, len(m))
+		}
+	}
+	// The header probe was verified little-endian by parseLNGCHeader; the
+	// casts below read native-endian, so re-check through the same cast the
+	// sections use to refuse byte-order mismatches on big-endian hosts.
+	if *(*uint32)(unsafe.Pointer(&m[8])) != lngcProbe {
+		return nil, fmt.Errorf("LNGC file byte order does not match this host")
+	}
+	offsets := mappedSlice[int64](m, h.sections[0], 8)
+	degrees := mappedSlice[uint32](m, h.sections[1], 4)
+	vtxOffsets := mappedSlice[uint64](m, h.sections[2], 8)
+	data := m[h.sections[3].off : h.sections[3].off+h.sections[3].len]
+	g, err := assembleLNGC(h, offsets, degrees, vtxOffsets, data)
+	if err != nil {
+		return nil, err
+	}
+	g.mapped = m
+	return g, nil
+}
+
+// mappedSlice reinterprets a page-aligned section of the mapping as a typed
+// slice without copying. Alignment holds because section offsets are
+// page-aligned (enforced by parseLNGCHeader) and the mapping itself is
+// page-aligned.
+func mappedSlice[T int64 | uint32 | uint64](m []byte, s lngcSection, elemSize uint64) []T {
+	if s.len == 0 {
+		return nil
+	}
+	return unsafe.Slice((*T)(unsafe.Pointer(&m[s.off])), s.len/elemSize)
+}
+
+// Munmap releases the mapping backing a graph loaded with Mmap. No-op for
+// graphs not backed by a mapping. The graph (and any cursors or subgraphs
+// sharing its arrays) must not be used afterwards.
+func (g *Graph) Munmap() error {
+	if g.mapped == nil {
+		return nil
+	}
+	m := g.mapped
+	g.mapped = nil
+	return syscall.Munmap(m)
+}

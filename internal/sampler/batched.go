@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"lightne/internal/graph"
+	"lightne/internal/par"
 )
 
 // Batched walking — the locality optimization the paper names as future
@@ -131,6 +132,13 @@ func pipelineWaves(g *graph.Graph, table Sink, heads []headRec, seed uint64, wav
 	}
 	states := make([]uint64, 2*maxWave)
 	scratch := make([]uint64, 2*maxWave)
+	// One neighbor cursor per worker: the wave-local decode buffers for
+	// compressed graphs (a no-op slice view otherwise), reused across every
+	// round of every wave so steady state allocates nothing.
+	cursors := make([]graph.NeighborCursor, par.Workers())
+	for i := range cursors {
+		cursors[i] = g.NewNeighborCursor()
+	}
 
 	waveCh := make(chan []headRec, 1)
 	done := make(chan struct{})
@@ -147,7 +155,7 @@ func pipelineWaves(g *graph.Graph, table Sink, heads []headRec, seed uint64, wav
 			hi = len(heads)
 		}
 		wave := heads[lo:hi]
-		runWave(g, wave, states, scratch, seed, uint64(lo))
+		runWave(g, wave, states, scratch, cursors, seed, uint64(lo))
 		waveCh <- wave
 	}
 	close(waveCh)

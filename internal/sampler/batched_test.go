@@ -178,53 +178,73 @@ func TestSampleBatchedParityOnCycle(t *testing.T) {
 
 // TestSampleBatchedGoldenAcrossGeometry locks down the pipeline's central
 // determinism guarantee: the drained sparsifier input is a pure function of
-// (graph, config) — bit-identical across wave size, shard count, and worker
-// count. Per-vertex enumeration streams plus per-(head, side, step) walk
-// streams make every draw independent of the execution geometry.
+// (graph structure, config) — bit-identical across wave size, shard count,
+// worker count, AND adjacency representation (raw CSR vs parallel-byte
+// compressed at any block size). Per-vertex enumeration streams plus
+// per-(head, side, step) walk streams make every draw independent of the
+// execution geometry, and the wave-local cursor decode only changes how a
+// neighbor is fetched, never which one.
 func TestSampleBatchedGoldenAcrossGeometry(t *testing.T) {
 	g := chordGraph(t, 300, 3, 42)
 	cfg := Config{T: 6, M: 120_000, Downsample: true, Seed: 99}
 	n := g.NumVertices()
-	build := func(waveSize, shards, procs int) ([]int64, []uint32, []float64) {
+	// Compressed twins: block size 2 keeps most runs on the lazy per-block
+	// cursor path, the default block size (64 > max degree here) forces the
+	// full-decode path. Both must reproduce the raw graph's bits.
+	gc2, err := g.ToCompressed(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gcDef, err := g.ToCompressed(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	build := func(gr *graph.Graph, waveSize, shards, procs int) ([]int64, []uint32, []float64) {
 		prev := runtime.GOMAXPROCS(procs)
 		defer runtime.GOMAXPROCS(prev)
 		c := cfg
 		c.Shards = shards
-		tab, _, err := SampleBatched(g, c, waveSize)
+		tab, _, err := SampleBatched(gr, c, waveSize)
 		if err != nil {
 			t.Fatalf("wave=%d shards=%d procs=%d: %v", waveSize, shards, procs, err)
 		}
 		rowPtr, cols, ws := tab.DrainCSR(n)
 		return rowPtr, cols, ws
 	}
-	goldPtr, goldCols, goldWs := build(0, 1, 1)
+	goldPtr, goldCols, goldWs := build(g, 0, 1, 1)
 	if len(goldCols) == 0 {
 		t.Fatal("golden run produced an empty sparsifier")
 	}
-	for _, waveSize := range []int{0, 1024, 4097} {
-		for _, shards := range []int{1, 4} {
-			for _, procs := range []int{1, 4} {
-				if waveSize == 0 && shards == 1 && procs == 1 {
-					continue
-				}
-				name := fmt.Sprintf("wave=%d/shards=%d/procs=%d", waveSize, shards, procs)
-				rowPtr, cols, ws := build(waveSize, shards, procs)
-				if len(rowPtr) != len(goldPtr) || len(cols) != len(goldCols) {
-					t.Fatalf("%s: shape (%d,%d) differs from golden (%d,%d)",
-						name, len(rowPtr), len(cols), len(goldPtr), len(goldCols))
-				}
-				for i := range rowPtr {
-					if rowPtr[i] != goldPtr[i] {
-						t.Fatalf("%s: rowPtr[%d] = %d, golden %d", name, i, rowPtr[i], goldPtr[i])
+	graphs := []struct {
+		name string
+		g    *graph.Graph
+	}{{"raw", g}, {"compressed-bs2", gc2}, {"compressed-default", gcDef}}
+	for _, gv := range graphs {
+		for _, waveSize := range []int{0, 1024, 4097} {
+			for _, shards := range []int{1, 4} {
+				for _, procs := range []int{1, 4} {
+					if gv.g == g && waveSize == 0 && shards == 1 && procs == 1 {
+						continue
 					}
-				}
-				for i := range cols {
-					if cols[i] != goldCols[i] {
-						t.Fatalf("%s: cols[%d] = %d, golden %d", name, i, cols[i], goldCols[i])
+					name := fmt.Sprintf("%s/wave=%d/shards=%d/procs=%d", gv.name, waveSize, shards, procs)
+					rowPtr, cols, ws := build(gv.g, waveSize, shards, procs)
+					if len(rowPtr) != len(goldPtr) || len(cols) != len(goldCols) {
+						t.Fatalf("%s: shape (%d,%d) differs from golden (%d,%d)",
+							name, len(rowPtr), len(cols), len(goldPtr), len(goldCols))
 					}
-					if ws[i] != goldWs[i] {
-						t.Fatalf("%s: ws[%d] = %v, golden %v (must be bit-identical)",
-							name, i, ws[i], goldWs[i])
+					for i := range rowPtr {
+						if rowPtr[i] != goldPtr[i] {
+							t.Fatalf("%s: rowPtr[%d] = %d, golden %d", name, i, rowPtr[i], goldPtr[i])
+						}
+					}
+					for i := range cols {
+						if cols[i] != goldCols[i] {
+							t.Fatalf("%s: cols[%d] = %d, golden %d", name, i, cols[i], goldCols[i])
+						}
+						if ws[i] != goldWs[i] {
+							t.Fatalf("%s: ws[%d] = %v, golden %v (must be bit-identical)",
+								name, i, ws[i], goldWs[i])
+						}
 					}
 				}
 			}

@@ -83,6 +83,30 @@ func BenchmarkSamplePipelined(b *testing.B) {
 	reportSamplerMetrics(b, stats)
 }
 
+// BenchmarkSampleBatchedCompressed is the sharded wave pipeline walking the
+// parallel-byte compressed adjacency natively: per-worker cursors decode each
+// block a radix-grouped run touches once, and no uncompressed edge array
+// exists at any point. Compare against BenchmarkSamplePipelined for the cost
+// of walking compressed; the graph-B metric shows the storage saved.
+func BenchmarkSampleBatchedCompressed(b *testing.B) {
+	g, cfg := benchGraphAndConfig(b, 4)
+	cg, err := g.ToCompressed(0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(float64(cg.SizeBytes()), "graph-B")
+	b.ResetTimer()
+	var stats Stats
+	for i := 0; i < b.N; i++ {
+		var err error
+		_, stats, err = SampleBatched(cg, cfg, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	reportSamplerMetrics(b, stats)
+}
+
 // reportSamplerMetrics derives per-run throughput from the last run's stats
 // (every run samples the same distribution, so Heads is the same draw count).
 func reportSamplerMetrics(b *testing.B, stats Stats) {

@@ -15,8 +15,9 @@ import (
 // *advances* are parallel (the original radix-batching win), but head
 // enumeration is a single-threaded vertex loop, every wave flushes into the
 // sink through a sequential AddFixed loop before the next wave may start,
-// and tombstone compaction is a serial sweep. BENCH_sampler.json tracks the
-// pipelined-vs-serial ratio from this PR onward.
+// and tombstone compaction is a serial sweep. It lives in a _test.go file so
+// the shipped package carries exactly one batched sampler; tests and
+// in-package benchmarks still exercise it as the reference implementation.
 //
 // It draws the identical trial distribution and per-head weights as
 // SampleBatched (the per-vertex enumeration streams are the same), so Trials

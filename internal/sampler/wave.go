@@ -43,8 +43,20 @@ const (
 // runWave walks one wave to completion, overwriting each head's (e0, e1)
 // with its walk endpoints. states and scratch are caller-owned buffers of
 // length >= 2*len(wave), reused across waves; base is the wave's first
-// global head index.
-func runWave(g *graph.Graph, wave []headRec, states, scratch []uint64, seed, base uint64) {
+// global head index; cursors holds one NeighborCursor per worker index
+// (len >= par.Workers()), reused across rounds and waves.
+//
+// Because states are radix-grouped by current vertex before each round, the
+// advance loop sees runs of states parked at the same vertex. Each worker
+// walks its chunk run by run and positions its NeighborCursor once per run:
+// on compressed graphs that decodes each needed block once per group (a full
+// sequential decode when the run covers the adjacency, a cached single-block
+// decode otherwise) instead of re-decoding a block prefix per state — the
+// difference between O(states x blockSize) and O(blocks touched) varint work
+// per vertex per round. On uncompressed graphs the cursor is a plain slice
+// view and the loop is unchanged in cost. Draws stay keyed by (head, side,
+// step), so the grouping, chunking and cursor strategy cannot affect output.
+func runWave(g *graph.Graph, wave []headRec, states, scratch []uint64, cursors []graph.NeighborCursor, seed, base uint64) {
 	n := 2 * len(wave)
 	if n == 0 {
 		return
@@ -67,30 +79,48 @@ func runWave(g *graph.Graph, wave []headRec, states, scratch []uint64, seed, bas
 	walkSeed := seed ^ walkSeedTag
 	for round := 0; n > 0; round++ {
 		radix.SortBytesBuf(states[:n], scratch, 4, 4+curBytes)
-		par.ForRange(n, walkGrain, func(lo, hi int) {
-			for i := lo; i < hi; i++ {
-				st := states[i]
-				cur := uint32(st >> batchCurOff)
-				steps := int(st>>batchStepOff) & (1<<batchStepBits - 1)
-				head := int(st & (maxWaveHeads - 1))
-				side := st >> batchSideBit & 1
-				if steps == 0 {
-					if side == 0 {
-						wave[head].e0 = cur
-					} else {
-						wave[head].e1 = cur
+		par.WorkerFor(n, walkGrain, func(worker, lo, hi int) {
+			nc := &cursors[worker]
+			for rs := lo; rs < hi; {
+				cur := uint32(states[rs] >> batchCurOff)
+				re := rs + 1
+				for re < hi && uint32(states[re]>>batchCurOff) == cur {
+					re++
+				}
+				d := g.Degree(cur)
+				begun := false
+				for i := rs; i < re; i++ {
+					st := states[i]
+					steps := int(st>>batchStepOff) & (1<<batchStepBits - 1)
+					head := int(st & (maxWaveHeads - 1))
+					side := st >> batchSideBit & 1
+					if steps == 0 {
+						if side == 0 {
+							wave[head].e0 = cur
+						} else {
+							wave[head].e1 = cur
+						}
+						states[i] = stateTombstone
+						continue
 					}
-					states[i] = stateTombstone
-					continue
+					// step index == round: all live states advance once per
+					// round.
+					next := cur // isolated: stay (cannot happen on symmetric graphs)
+					if d > 0 {
+						if !begun {
+							// Position once per run; the cursor picks a full
+							// decode vs lazy per-block strategy from the run
+							// size.
+							nc.Begin(cur, re-rs)
+							begun = true
+						}
+						draw := rng.Hash64(walkSeed, (base+uint64(head))<<10|uint64(round)<<1|side)
+						pick, _ := bits.Mul64(draw, uint64(d))
+						next = nc.Neighbor(int(pick))
+					}
+					states[i] = packState(next, steps-1, int(side), head)
 				}
-				// step index == round: all live states advance once per round.
-				next := cur // isolated: stay (cannot happen on symmetric graphs)
-				if d := g.Degree(cur); d > 0 {
-					draw := rng.Hash64(walkSeed, (base+uint64(head))<<10|uint64(round)<<1|side)
-					pick, _ := bits.Mul64(draw, uint64(d))
-					next = g.Neighbor(cur, int(pick))
-				}
-				states[i] = packState(next, steps-1, int(side), head)
+				rs = re
 			}
 		})
 		n = compactStates(states[:n], scratch)

@@ -87,6 +87,32 @@ func LoadGraph(r io.Reader, n int) (*Graph, error) {
 	return graph.LoadEdgeList(r, n, graph.DefaultOptions())
 }
 
+// LoadGraphWithOptions parses a whitespace-separated edge list under
+// explicit graph options — in particular Compress, which builds the
+// parallel-byte adjacency directly instead of forcing callers to rebuild
+// the graph from its own neighbor lists.
+func LoadGraphWithOptions(r io.Reader, n int, opt GraphOptions) (*Graph, error) {
+	return graph.LoadEdgeList(r, n, opt)
+}
+
+// CompressGraph returns a structurally identical graph whose adjacency is
+// stored in Ligra+ parallel-byte form (sharing the offsets array, dropping
+// the uncompressed edge array). blockSize <= 0 selects the default; returns
+// g unchanged if already compressed. Weighted graphs are not compressible.
+func CompressGraph(g *Graph, blockSize int) (*Graph, error) {
+	return g.ToCompressed(blockSize)
+}
+
+// MmapGraph memory-maps an LNGC compressed graph file (written by
+// Graph.WriteBinary on a compressed graph). The adjacency is served
+// straight from the page cache — load time and resident memory are O(1)
+// regardless of graph size, and no CSR edge array is ever built. Call
+// (*Graph).Munmap to release the mapping, and (*Graph).Validate once if the
+// file is untrusted.
+func MmapGraph(path string) (*Graph, error) {
+	return graph.Mmap(path)
+}
+
 // DefaultConfig returns the paper's default configuration at dimension d
 // (T=10, M=T·m, downsampling and propagation on).
 func DefaultConfig(d int) Config { return core.DefaultConfig(d) }
