@@ -10,11 +10,14 @@
 //     through radix-partitioned batch inserts,
 //   - pipelined-compressed:  the same pipeline walking the parallel-byte
 //     compressed adjacency natively (wave-local block decoding; no
-//     uncompressed edge array exists at any point).
+//     uncompressed edge array exists at any point),
+//   - pipelined-weighted:    the same pipeline on a weighted twin of the
+//     graph (deterministic per-edge weights), every walk step resolving a
+//     Vose alias table from its keyed draw.
 //
 // The pipelined/pipelined-compressed pair isolates the cost of walking
-// compressed: identical config, identical output, only the adjacency
-// representation differs.
+// compressed, and pipelined/pipelined-weighted the cost of weighted draws:
+// identical config, only the adjacency representation differs.
 //
 // Usage:
 //
@@ -32,6 +35,7 @@ import (
 
 	"lightne/internal/gen"
 	"lightne/internal/graph"
+	"lightne/internal/rng"
 	"lightne/internal/sampler"
 )
 
@@ -65,6 +69,9 @@ type report struct {
 	SpeedupPipelined     float64 `json:"speedup_pipelined_vs_sample"`
 	CompressedVsRaw      float64 `json:"compressed_ns_over_raw_ns"`
 	GraphCompressionRate float64 `json:"graph_bytes_raw_over_compressed"`
+	// WeightedVsRaw compares pipelined-weighted against pipelined — the
+	// slowdown paid for alias-table walk steps and the weighted budget.
+	WeightedVsRaw float64 `json:"weighted_ns_over_raw_ns"`
 	Note                 string  `json:"note,omitempty"`
 }
 
@@ -93,6 +100,10 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	wg, err := weightedTwin(g, *seed)
+	if err != nil {
+		fatal(err)
+	}
 	cfg := sampler.Config{T: *t, M: *m, Downsample: true, Seed: *seed}
 	shardedCfg := cfg
 	shardedCfg.Shards = *shards
@@ -116,6 +127,10 @@ func main() {
 		}},
 		{"pipelined-compressed", cg, func() (sampler.Stats, error) {
 			_, stats, err := sampler.SampleBatched(cg, shardedCfg, *waveSize)
+			return stats, err
+		}},
+		{"pipelined-weighted", wg, func() (sampler.Stats, error) {
+			_, stats, err := sampler.SampleBatched(wg, shardedCfg, *waveSize)
 			return stats, err
 		}},
 	}
@@ -147,6 +162,7 @@ func main() {
 	rep.SpeedupPipelined = float64(base) / float64(rep.Results[2].NsPerOp)
 	rep.CompressedVsRaw = float64(rep.Results[3].NsPerOp) / float64(rep.Results[2].NsPerOp)
 	rep.GraphCompressionRate = float64(rep.Results[2].GraphBytes) / float64(rep.Results[3].GraphBytes)
+	rep.WeightedVsRaw = float64(rep.Results[4].NsPerOp) / float64(rep.Results[2].NsPerOp)
 	if rep.HardwareThreads < rep.GoMaxProcs {
 		rep.Note = fmt.Sprintf("GOMAXPROCS=%d exceeds the host's %d hardware thread(s): "+
 			"worker-parallel stages time-slice one core, so recorded speedups are a floor, "+
@@ -166,6 +182,29 @@ func main() {
 		fatal(err)
 	}
 	fmt.Fprintf(os.Stderr, "wrote %s\n", *out)
+}
+
+// weightedTwin rebuilds g with a deterministic positive weight per
+// undirected edge (keyed hash of the endpoint pair, spread over
+// [0.25, 5)), so the weighted variant walks the same topology and the run
+// is reproducible for a fixed seed.
+func weightedTwin(g *graph.Graph, seed uint64) (*graph.Graph, error) {
+	n := g.NumVertices()
+	var arcs []graph.WeightedEdge
+	for ui := 0; ui < n; ui++ {
+		u := uint32(ui)
+		d := g.Degree(u)
+		for i := 0; i < d; i++ {
+			v := g.Neighbor(u, i)
+			if u >= v {
+				continue // one direction per edge; Symmetrize restores the other
+			}
+			h := rng.Hash64(seed, uint64(u)<<32|uint64(v))
+			w := 0.25 + 4.75*float64(h>>11)/(1<<53)
+			arcs = append(arcs, graph.WeightedEdge{U: u, V: v, W: w})
+		}
+	}
+	return graph.FromWeightedEdges(n, arcs, graph.Options{Symmetrize: true})
 }
 
 // measure runs fn reps times and keeps the fastest pass — the run least

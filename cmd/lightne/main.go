@@ -43,7 +43,7 @@ func main() {
 		oversample = flag.Int("oversample", 0, "extra randomized-SVD sketch columns")
 		powerIters = flag.Int("power-iters", 0, "randomized-SVD subspace iterations")
 		shards     = flag.Int("shards", 1, "split the sample-aggregation table across this many shards (rounded up to a power of two; output is bit-identical for any value)")
-		batched    = flag.Bool("batched", false, "use the radix-batched wave-pipelined walker (unweighted graphs only; output is bit-identical for any wave size, shard count or worker count)")
+		batched    = flag.Bool("batched", false, "use the radix-batched wave-pipelined walker (weighted graphs walk via alias tables; output is bit-identical for any wave size, shard count or worker count)")
 		waveSize   = flag.Int("wave-size", 0, "in-flight heads per wave of the batched walker (0 = maximum, 2^22); implies nothing without -batched")
 	)
 	flag.Parse()

@@ -48,7 +48,7 @@ type Config struct {
 	Oversample int
 	PowerIters int
 	// BatchedWalks selects the radix-batched walk schedule (paper §4.2
-	// future work); unweighted graphs only.
+	// future work); weighted graphs walk natively via alias tables.
 	BatchedWalks bool
 	// WaveSize caps the in-flight heads per wave of the batched walker's
 	// enumerate→walk→drain pipeline; <= 0 picks the maximum (2^22). Only

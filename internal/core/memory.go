@@ -44,8 +44,13 @@ type MemoryEstimate struct {
 	// DenseBytes covers the randomized-SVD sketch matrices and the
 	// propagation workspace.
 	DenseBytes int64
-	// GraphBytes is the adjacency storage.
+	// GraphBytes is the adjacency storage (offsets, edges, and weights for
+	// weighted graphs), excluding the alias tables accounted separately.
 	GraphBytes int64
+	// AliasTableBytes is the per-vertex Vose alias-table storage weighted
+	// batched walking draws from: 12 B per stored arc (8 B acceptance
+	// probability + 4 B alias slot). Zero for unweighted graphs.
+	AliasTableBytes int64
 }
 
 // Total sums all components. Table and sparsifier coexist briefly during
@@ -54,7 +59,7 @@ type MemoryEstimate struct {
 // so a run whose size hint was wrong still fits the reported budget.
 func (m MemoryEstimate) Total() int64 {
 	return m.PeakTableBytes + m.WalkBufferBytes + m.DecodeBufferBytes +
-		m.SparsifierBytes + m.DenseBytes + m.GraphBytes
+		m.SparsifierBytes + m.DenseBytes + m.GraphBytes + m.AliasTableBytes
 }
 
 // expectedHeadFraction computes E[p_e] over directed arcs for the config's
@@ -114,8 +119,12 @@ func EstimateMemory(g *graph.Graph, cfg Config) (MemoryEstimate, error) {
 		TableBytes:      slots * 16,
 		PeakTableBytes:  slots * 16 * 3 / 2,
 		SparsifierBytes: entries*12 + int64(g.NumVertices()+1)*8,
-		GraphBytes:      g.SizeBytes(),
+		AliasTableBytes: g.AliasBytes(),
 	}
+	// SizeBytes already includes the alias tables for weighted graphs; split
+	// them into their own line item so the plan shows what weighted batched
+	// walking costs.
+	est.GraphBytes = g.SizeBytes() - est.AliasTableBytes
 	if cfg.BatchedWalks {
 		// Stage-1 head records (24 B each) plus the per-wave buffers: walk
 		// states + compaction scratch (2 x 2w x 8 B) and the drain's oriented

@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"lightne/internal/gen"
+	"lightne/internal/graph"
 	"lightne/internal/netsmf"
 	"lightne/internal/sampler"
 )
@@ -141,6 +142,55 @@ func TestEstimateMemoryBatchedWalkBuffer(t *testing.T) {
 	}
 	if smallWave.WalkBufferBytes > batched.WalkBufferBytes {
 		t.Fatal("shrinking the wave must not enlarge the buffer budget")
+	}
+}
+
+// TestEstimateMemoryAliasTableBytes checks the planner's alias accounting:
+// weighted graphs carry 12 B/arc of Vose alias tables (what weighted
+// batched walking draws from), split out of GraphBytes into their own line
+// item so the sum still equals the graph's true footprint; unweighted
+// graphs budget zero.
+func TestEstimateMemoryAliasTableBytes(t *testing.T) {
+	g, _, err := gen.SBM(gen.SBMConfig{N: 400, Communities: 4, PIn: 0.06, POut: 0.004, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig(8)
+	plain, err := EstimateMemory(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.AliasTableBytes != 0 {
+		t.Fatalf("unweighted graph budgets alias tables: %d", plain.AliasTableBytes)
+	}
+	if plain.GraphBytes != g.SizeBytes() {
+		t.Fatalf("unweighted GraphBytes %d != SizeBytes %d", plain.GraphBytes, g.SizeBytes())
+	}
+	// Weighted twin: same arcs, unit-ish weights.
+	var arcs []graph.WeightedEdge
+	for u := 0; u < g.NumVertices(); u++ {
+		d := g.Degree(uint32(u))
+		for i := 0; i < d; i++ {
+			v := g.Neighbor(uint32(u), i)
+			if uint32(u) < v {
+				arcs = append(arcs, graph.WeightedEdge{U: uint32(u), V: v, W: 1 + float64(i%3)})
+			}
+		}
+	}
+	wg, err := graph.FromWeightedEdges(g.NumVertices(), arcs, graph.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	weighted, err := EstimateMemory(wg, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 12 * wg.NumEdges(); weighted.AliasTableBytes != want {
+		t.Fatalf("alias bytes %d, want 12 B/arc = %d", weighted.AliasTableBytes, want)
+	}
+	if weighted.GraphBytes+weighted.AliasTableBytes != wg.SizeBytes() {
+		t.Fatalf("GraphBytes %d + AliasTableBytes %d != SizeBytes %d",
+			weighted.GraphBytes, weighted.AliasTableBytes, wg.SizeBytes())
 	}
 }
 

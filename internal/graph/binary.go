@@ -73,8 +73,13 @@ type lngcHeader struct {
 
 // WriteBinary serializes the graph: compressed graphs write the LNGC format
 // (adjacency sections verbatim, mmap-able), uncompressed graphs write plain
-// LNG1 CSR.
+// LNG1 CSR. Weighted graphs are rejected: neither format carries a weights
+// section yet, and silently writing the structure-only CSR would drop the
+// weights on the floor — a reload would embed a different graph.
 func (g *Graph) WriteBinary(w io.Writer) error {
+	if g.weights != nil {
+		return fmt.Errorf("graph: WriteBinary does not support weighted graphs (LNG1/LNGC carry no weights section; writing would silently drop them)")
+	}
 	bw := bufio.NewWriterSize(w, 1<<20)
 	if g.comp != nil {
 		if err := g.writeLNGC(bw); err != nil {

@@ -2,6 +2,7 @@ package graph
 
 import (
 	"bytes"
+	"strings"
 	"testing"
 
 	"lightne/internal/rng"
@@ -71,6 +72,57 @@ func TestBinaryRoundtripCompressedSource(t *testing.T) {
 		for i := range a {
 			if a[i] != b[i] {
 				t.Fatal("neighbors differ after compressed roundtrip")
+			}
+		}
+	}
+}
+
+// TestBinaryWeightedRejected pins WriteBinary's behavior per input kind:
+// weighted graphs are rejected with a clear error (LNG1/LNGC carry no
+// weights section — writing would silently drop them), while an unweighted
+// graph built through the same constructor path round-trips losslessly.
+func TestBinaryWeightedRejected(t *testing.T) {
+	wg, err := FromWeightedEdges(3, []WeightedEdge{
+		{0, 1, 2.5}, {1, 2, 0.5},
+	}, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := wg.WriteBinary(&buf); err == nil {
+		t.Fatal("WriteBinary accepted a weighted graph (weights would be dropped)")
+	} else if !strings.Contains(err.Error(), "weighted") {
+		t.Fatalf("rejection should name the weighted cause, got: %v", err)
+	}
+	if buf.Len() != 0 {
+		t.Fatalf("rejected write still emitted %d bytes", buf.Len())
+	}
+
+	g, err := FromEdges(3, []Edge{{0, 1}, {1, 2}}, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.WriteBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := ReadBinary(bytes.NewReader(buf.Bytes()), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.Weighted() {
+		t.Fatal("round-tripped unweighted graph reports weights")
+	}
+	if g2.NumVertices() != 3 || g2.NumEdges() != g.NumEdges() {
+		t.Fatalf("shape mismatch after roundtrip: %d/%d", g2.NumVertices(), g2.NumEdges())
+	}
+	for u := uint32(0); u < 3; u++ {
+		a, b := g.Neighbors(u, nil), g2.Neighbors(u, nil)
+		if len(a) != len(b) {
+			t.Fatalf("vertex %d degree mismatch", u)
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatal("neighbors differ after roundtrip")
 			}
 		}
 	}

@@ -5,10 +5,11 @@
 // near-constant-time i-th-neighbor access (needed by random walk steps), and
 // the random walk itself (Algorithm 1's building block).
 //
-// Graphs here are unweighted and, for embedding purposes, undirected: the
-// builder symmetrizes edge lists so each undirected edge {u,v} is stored as
-// two directed arcs. NumEdges reports directed arcs, so vol(G) = NumEdges for
-// a symmetrized graph, matching the paper's vol(G) = 2m convention.
+// Graphs here are, for embedding purposes, undirected: the builder
+// symmetrizes edge lists so each undirected edge {u,v} is stored as two
+// directed arcs. NumEdges reports directed arcs, so vol(G) = NumEdges for a
+// symmetrized unweighted graph, matching the paper's vol(G) = 2m convention
+// (weighted graphs — weighted.go — generalize it to vol(G) = total weight).
 package graph
 
 import (
@@ -191,11 +192,16 @@ func (g *Graph) Neighbors(u uint32, dst []uint32) []uint32 {
 // a lookup is the same slice index Neighbor performs; on compressed graphs
 // the cursor decodes each block the run touches once into its own reusable
 // buffer (compress.Cursor) instead of paying Nth's per-lookup block
-// re-decode. Keep one cursor per worker; it is not safe for concurrent use.
+// re-decode. Weighted graphs (never compressed) additionally expose the
+// vertex's alias-table row so a run of keyed weighted draws resolves
+// without re-slicing per state (AliasNeighbor). Keep one cursor per worker;
+// it is not safe for concurrent use.
 type NeighborCursor struct {
-	g    *Graph
-	span []uint32 // current vertex's neighbor view (uncompressed graphs)
-	cc   compress.Cursor
+	g     *Graph
+	span  []uint32  // current vertex's neighbor view (uncompressed graphs)
+	prob  []float64 // current vertex's alias acceptance row (weighted graphs)
+	alias []uint32  // current vertex's alias fallback row (weighted graphs)
+	cc    compress.Cursor
 }
 
 // NewNeighborCursor returns a cursor over g's adjacency.
@@ -211,7 +217,12 @@ func (c *NeighborCursor) Begin(u uint32, k int) {
 		c.cc.Begin(c.g.comp, u, k)
 		return
 	}
-	c.span = c.g.edges[c.g.offsets[u]:c.g.offsets[u+1]]
+	lo, hi := c.g.offsets[u], c.g.offsets[u+1]
+	c.span = c.g.edges[lo:hi]
+	if c.g.alias != nil {
+		c.prob = c.g.alias.prob[lo:hi]
+		c.alias = c.g.alias.alias[lo:hi]
+	}
 }
 
 // Neighbor returns the i-th neighbor of the vertex passed to Begin.
@@ -220,6 +231,13 @@ func (c *NeighborCursor) Neighbor(i int) uint32 {
 		return c.cc.Nth(i)
 	}
 	return c.span[i]
+}
+
+// AliasNeighbor draws a weight-proportional neighbor of the vertex passed
+// to Begin from a single 64-bit keyed value (see Graph.AliasNeighbor for
+// the slot/coin layout). Only valid on weighted graphs.
+func (c *NeighborCursor) AliasNeighbor(draw uint64) uint32 {
+	return c.span[aliasPick(c.prob, c.alias, draw)]
 }
 
 // ToCompressed returns a graph with the same structure whose adjacency is

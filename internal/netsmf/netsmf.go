@@ -58,7 +58,8 @@ type Config struct {
 	PowerIters int
 	// BatchedWalks selects the radix-batched walking schedule — the
 	// locality optimization the paper names as future work (§4.2).
-	// Unweighted graphs only.
+	// Weighted graphs walk natively via per-vertex alias tables resolved
+	// from keyed-hash draws (see graph.AliasNeighbor).
 	BatchedWalks bool
 	// WaveSize caps the in-flight heads per wave of the batched walker's
 	// pipeline; <= 0 picks the maximum (2^22). Only meaningful with

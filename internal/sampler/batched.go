@@ -75,8 +75,11 @@ type headRec struct {
 }
 
 // SampleBatched runs the downsampled PathSampling pass with radix-batched
-// walks and the wave pipeline. Unweighted graphs only (the walk batching
-// assumes uniform neighbor draws). waveSize caps concurrently in-flight
+// walks and the wave pipeline. Weighted graphs walk natively: head
+// enumeration uses the weighted per-arc budget (M·w_e/vol trials, ProbW
+// over strengths) and each walk step resolves a per-vertex Vose alias
+// table from the same single keyed-hash draw the unweighted path uses
+// (see graph.AliasNeighbor). waveSize caps concurrently in-flight
 // heads; <= 0 picks the maximum (2^22). The drained aggregate is
 // bit-identical for every waveSize, shard count and worker count.
 func SampleBatched(g *graph.Graph, cfg Config, waveSize int) (Sink, Stats, error) {
@@ -88,9 +91,6 @@ func SampleBatched(g *graph.Graph, cfg Config, waveSize int) (Sink, Stats, error
 	}
 	if g.NumEdges() == 0 {
 		return nil, Stats{}, fmt.Errorf("sampler: graph has no edges")
-	}
-	if g.Weighted() {
-		return nil, Stats{}, fmt.Errorf("sampler: batched walking requires an unweighted graph")
 	}
 	if waveSize <= 0 || waveSize > maxWaveHeads {
 		waveSize = maxWaveHeads

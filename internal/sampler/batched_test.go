@@ -44,6 +44,40 @@ func chordGraph(t testing.TB, n, extraPerVertex int, seed uint64) *graph.Graph {
 	return g
 }
 
+// weightedChordGraph is chordGraph's weighted twin: same topology process,
+// with deterministic per-edge weights spanning a ~20x range so alias tables
+// are far from uniform.
+func weightedChordGraph(t testing.TB, n, extraPerVertex int, seed uint64) *graph.Graph {
+	t.Helper()
+	s := rng.New(seed, 0)
+	seen := make(map[[2]uint32]bool)
+	var arcs []graph.WeightedEdge
+	add := func(u, v uint32) {
+		if u == v {
+			return
+		}
+		if u > v {
+			u, v = v, u
+		}
+		if seen[[2]uint32{u, v}] {
+			return
+		}
+		seen[[2]uint32{u, v}] = true
+		arcs = append(arcs, graph.WeightedEdge{U: u, V: v, W: 0.25 + 4.75*s.Float64()})
+	}
+	for i := 0; i < n; i++ {
+		add(uint32(i), uint32((i+1)%n))
+		for k := 0; k < extraPerVertex; k++ {
+			add(uint32(i), uint32(s.Intn(n)))
+		}
+	}
+	g, err := graph.FromWeightedEdges(n, arcs, graph.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
 func TestPackStateRoundtrip(t *testing.T) {
 	for _, tc := range []struct {
 		cur   uint32
@@ -149,12 +183,18 @@ func TestSampleBatchedErrors(t *testing.T) {
 	if _, _, err := SampleBatched(g, Config{T: 2, M: 0}, 0); err == nil {
 		t.Fatal("expected M error")
 	}
+	// Weighted graphs are accepted: the wave walker resolves alias tables
+	// from the same keyed draws (this rejection used to be the last gap).
 	wg, err := graph.FromWeightedEdges(3, []graph.WeightedEdge{{U: 0, V: 1, W: 2}}, graph.DefaultOptions())
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, _, err := SampleBatched(wg, Config{T: 2, M: 10}, 0); err == nil {
-		t.Fatal("expected weighted rejection")
+	tab, stats, err := SampleBatched(wg, Config{T: 2, M: 10, Seed: 1}, 0)
+	if err != nil {
+		t.Fatalf("weighted batched walking: %v", err)
+	}
+	if stats.Trials == 0 || tab.Len() == 0 {
+		t.Fatal("weighted batched run produced nothing")
 	}
 }
 
@@ -211,6 +251,26 @@ func TestSampleBatchedGoldenAcrossGeometry(t *testing.T) {
 		rowPtr, cols, ws := tab.DrainCSR(n)
 		return rowPtr, cols, ws
 	}
+	compare := func(name string, rowPtr, goldPtr []int64, cols, goldCols []uint32, ws, goldWs []float64) {
+		if len(rowPtr) != len(goldPtr) || len(cols) != len(goldCols) {
+			t.Fatalf("%s: shape (%d,%d) differs from golden (%d,%d)",
+				name, len(rowPtr), len(cols), len(goldPtr), len(goldCols))
+		}
+		for i := range rowPtr {
+			if rowPtr[i] != goldPtr[i] {
+				t.Fatalf("%s: rowPtr[%d] = %d, golden %d", name, i, rowPtr[i], goldPtr[i])
+			}
+		}
+		for i := range cols {
+			if cols[i] != goldCols[i] {
+				t.Fatalf("%s: cols[%d] = %d, golden %d", name, i, cols[i], goldCols[i])
+			}
+			if ws[i] != goldWs[i] {
+				t.Fatalf("%s: ws[%d] = %v, golden %v (must be bit-identical)",
+					name, i, ws[i], goldWs[i])
+			}
+		}
+	}
 	goldPtr, goldCols, goldWs := build(g, 0, 1, 1)
 	if len(goldCols) == 0 {
 		t.Fatal("golden run produced an empty sparsifier")
@@ -228,25 +288,29 @@ func TestSampleBatchedGoldenAcrossGeometry(t *testing.T) {
 					}
 					name := fmt.Sprintf("%s/wave=%d/shards=%d/procs=%d", gv.name, waveSize, shards, procs)
 					rowPtr, cols, ws := build(gv.g, waveSize, shards, procs)
-					if len(rowPtr) != len(goldPtr) || len(cols) != len(goldCols) {
-						t.Fatalf("%s: shape (%d,%d) differs from golden (%d,%d)",
-							name, len(rowPtr), len(cols), len(goldPtr), len(goldCols))
-					}
-					for i := range rowPtr {
-						if rowPtr[i] != goldPtr[i] {
-							t.Fatalf("%s: rowPtr[%d] = %d, golden %d", name, i, rowPtr[i], goldPtr[i])
-						}
-					}
-					for i := range cols {
-						if cols[i] != goldCols[i] {
-							t.Fatalf("%s: cols[%d] = %d, golden %d", name, i, cols[i], goldCols[i])
-						}
-						if ws[i] != goldWs[i] {
-							t.Fatalf("%s: ws[%d] = %v, golden %v (must be bit-identical)",
-								name, i, ws[i], goldWs[i])
-						}
-					}
+					compare(name, rowPtr, goldPtr, cols, goldCols, ws, goldWs)
 				}
+			}
+		}
+	}
+
+	// Weighted fixture: keyed alias draws must deliver the same guarantee.
+	// No compressed twins (weighted graphs reject compression); the sweep is
+	// the same waveSize × shards × procs grid against a weighted golden.
+	wg := weightedChordGraph(t, 300, 3, 43)
+	wGoldPtr, wGoldCols, wGoldWs := build(wg, 0, 1, 1)
+	if len(wGoldCols) == 0 {
+		t.Fatal("weighted golden run produced an empty sparsifier")
+	}
+	for _, waveSize := range []int{0, 1024, 4097} {
+		for _, shards := range []int{1, 4} {
+			for _, procs := range []int{1, 4} {
+				if waveSize == 0 && shards == 1 && procs == 1 {
+					continue
+				}
+				name := fmt.Sprintf("weighted/wave=%d/shards=%d/procs=%d", waveSize, shards, procs)
+				rowPtr, cols, ws := build(wg, waveSize, shards, procs)
+				compare(name, rowPtr, wGoldPtr, cols, wGoldCols, ws, wGoldWs)
 			}
 		}
 	}
@@ -312,32 +376,40 @@ func TestSampleBatchedMatchesSerialFlush(t *testing.T) {
 func TestSampleBatchedStressGrowMidDrain(t *testing.T) {
 	prev := runtime.GOMAXPROCS(4)
 	defer runtime.GOMAXPROCS(prev)
-	g := chordGraph(t, 150, 2, 5)
-	for _, shards := range []int{1, 4} {
-		cfg := Config{
-			T: 4, M: 60_000, Downsample: true, Seed: 3,
-			TableSizeHint: 16, // forces a long chain of grows mid-drain
-			Shards:        shards,
-		}
-		tab, stats, err := SampleBatched(g, cfg, 256)
-		if err != nil {
-			t.Fatalf("shards=%d: %v", shards, err)
-		}
-		if tab.Len() == 0 || stats.Heads == 0 {
-			t.Fatalf("shards=%d: empty run", shards)
-		}
-		if stats.PeakTableBytes <= stats.TableBytes {
-			t.Fatalf("shards=%d: hint did not force a grow (peak %d steady %d)",
-				shards, stats.PeakTableBytes, stats.TableBytes)
-		}
-		_, _, ws := tab.Drain()
-		var total float64
-		for _, w := range ws {
-			total += w
-		}
-		want := 2 * float64(stats.Trials)
-		if math.Abs(total-want) > 0.05*want {
-			t.Fatalf("shards=%d: total mass %.0f want ~%.0f", shards, total, want)
+	fixtures := []struct {
+		name string
+		g    *graph.Graph
+	}{
+		{"unweighted", chordGraph(t, 150, 2, 5)},
+		{"weighted", weightedChordGraph(t, 150, 2, 5)},
+	}
+	for _, fx := range fixtures {
+		for _, shards := range []int{1, 4} {
+			cfg := Config{
+				T: 4, M: 60_000, Downsample: true, Seed: 3,
+				TableSizeHint: 16, // forces a long chain of grows mid-drain
+				Shards:        shards,
+			}
+			tab, stats, err := SampleBatched(fx.g, cfg, 256)
+			if err != nil {
+				t.Fatalf("%s shards=%d: %v", fx.name, shards, err)
+			}
+			if tab.Len() == 0 || stats.Heads == 0 {
+				t.Fatalf("%s shards=%d: empty run", fx.name, shards)
+			}
+			if stats.PeakTableBytes <= stats.TableBytes {
+				t.Fatalf("%s shards=%d: hint did not force a grow (peak %d steady %d)",
+					fx.name, shards, stats.PeakTableBytes, stats.TableBytes)
+			}
+			_, _, ws := tab.Drain()
+			var total float64
+			for _, w := range ws {
+				total += w
+			}
+			want := 2 * float64(stats.Trials)
+			if math.Abs(total-want) > 0.05*want {
+				t.Fatalf("%s shards=%d: total mass %.0f want ~%.0f", fx.name, shards, total, want)
+			}
 		}
 	}
 }

@@ -107,6 +107,26 @@ func BenchmarkSampleBatchedCompressed(b *testing.B) {
 	reportSamplerMetrics(b, stats)
 }
 
+// BenchmarkSampleBatchedWeighted is the sharded wave pipeline on the
+// weighted twin of the benchmark fixture: every walk step resolves a Vose
+// alias table from its keyed draw instead of a bare multiply-shift, and
+// enumeration spreads the budget as M·w_e/vol per arc. Compare against
+// BenchmarkSamplePipelined for the cost of weighted draws.
+func BenchmarkSampleBatchedWeighted(b *testing.B) {
+	g := weightedChordGraph(b, 4000, 6, 1)
+	cfg := Config{T: 10, M: 1_500_000, Downsample: true, Seed: 1, Shards: 4}
+	b.ResetTimer()
+	var stats Stats
+	for i := 0; i < b.N; i++ {
+		var err error
+		_, stats, err = SampleBatched(g, cfg, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	reportSamplerMetrics(b, stats)
+}
+
 // reportSamplerMetrics derives per-run throughput from the last run's stats
 // (every run samples the same distribution, so Heads is the same draw count).
 func reportSamplerMetrics(b *testing.B, stats Stats) {

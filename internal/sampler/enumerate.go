@@ -27,16 +27,21 @@ import (
 const enumGrain = 32
 
 // enumerateHeads generates every walk head of the pass: for each arc
-// (u, v), n_e = ⌊M/m⌋ + Bernoulli({M/m}) trials, each surviving the
-// downsampling coin with probability p_e and drawing a walk length r and
-// split s. Returns the heads in serial-enumeration order plus the trial
-// accounting part of Stats.
+// (u, v), n_e = ⌊M·w_e/vol⌋ + Bernoulli({M·w_e/vol}) trials — the weighted
+// per-arc budget the serial Sample path draws (w_e = 1 and vol = m for
+// unweighted graphs, so the unweighted stream is unchanged bit for bit) —
+// each surviving the downsampling coin with probability p_e =
+// min(1, C·w_e·(1/s_u + 1/s_v)) over weighted degrees and drawing a walk
+// length r and split s. Returns the heads in serial-enumeration order plus
+// the trial accounting part of Stats.
 func enumerateHeads(g *graph.Graph, cfg Config) ([]headRec, Stats) {
 	n := g.NumVertices()
 	c := downsampleConstant(g, cfg)
-	perArc := float64(cfg.M) / float64(g.NumEdges())
-	base := int64(perArc)
-	frac := perArc - float64(base)
+	perUnit := float64(cfg.M) / g.TotalWeight()
+	var strengths []float64
+	if cfg.Downsample {
+		strengths = g.Strengths()
+	}
 
 	// forVertex runs one vertex's full draw sequence, calling emit for every
 	// head. Both passes route through it so their streams cannot drift.
@@ -48,8 +53,10 @@ func enumerateHeads(g *graph.Graph, cfg Config) ([]headRec, Stats) {
 		src.Seed(cfg.Seed, uint64(u))
 		for i := 0; i < du; i++ {
 			v := g.Neighbor(u, i)
-			ne := base
-			if frac > 0 && src.Bernoulli(frac) {
+			ew := g.EdgeWeight(u, i)
+			perArc := perUnit * ew
+			ne := int64(perArc)
+			if frac := perArc - float64(ne); frac > 0 && src.Bernoulli(frac) {
 				ne++
 			}
 			if ne == 0 {
@@ -57,7 +64,7 @@ func enumerateHeads(g *graph.Graph, cfg Config) ([]headRec, Stats) {
 			}
 			pe := 1.0
 			if cfg.Downsample {
-				pe = Prob(c, du, g.Degree(v))
+				pe = ProbW(c, ew, strengths[u], strengths[v])
 			}
 			fixed := hashtable.ToFixed(1 / pe)
 			for k := int64(0); k < ne; k++ {

@@ -54,6 +54,58 @@ func TestDownsamplingLaplacianUnbiased(t *testing.T) {
 	}
 }
 
+// TestDownsamplingLaplacianUnbiasedWeighted extends the Theorem 3.1 check
+// to weighted graphs: with p_e = ProbW(c, w_e, s_u, s_v) over weighted
+// degrees, the reweighted kept indicator still satisfies E[kept·(1/p_e)] = 1
+// per arc — the property that makes the weighted sparsifier an unbiased
+// Laplacian estimator.
+func TestDownsamplingLaplacianUnbiasedWeighted(t *testing.T) {
+	// A weighted hub-plus-ring: hub arcs carry skewed weights so strengths
+	// (weighted degrees) differ sharply from counts, and p_e spans a wide
+	// range below 1.
+	var arcs []graph.WeightedEdge
+	n := 40
+	for i := 1; i < n; i++ {
+		arcs = append(arcs, graph.WeightedEdge{U: 0, V: uint32(i), W: float64(1+i%5) * 0.5})
+	}
+	for i := 1; i < n-1; i++ {
+		arcs = append(arcs, graph.WeightedEdge{U: uint32(i), V: uint32(i + 1), W: 2})
+	}
+	g, err := graph.FromWeightedEdges(n, arcs, graph.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	strengths := g.Strengths()
+	c := 0.5 // small constant so that p_e < 1 on the probes
+	const rounds = 4000
+	src := rng.New(99, 0)
+	type probe struct {
+		u  uint32
+		i  int // edge index within u's adjacency
+	}
+	probes := []probe{{0, 0}, {0, 19}, {5, 1}}
+	sums := make([]float64, len(probes))
+	for r := 0; r < rounds; r++ {
+		for i, p := range probes {
+			v := g.Neighbor(p.u, p.i)
+			pe := ProbW(c, g.EdgeWeight(p.u, p.i), strengths[p.u], strengths[v])
+			if pe >= 1 {
+				sums[i]++
+				continue
+			}
+			if src.Bernoulli(pe) {
+				sums[i] += 1 / pe
+			}
+		}
+	}
+	for i, p := range probes {
+		mean := sums[i] / rounds
+		if math.Abs(mean-1) > 0.1 {
+			t.Fatalf("arc (%d, #%d): E[kept/p] = %.3f, want 1 (Theorem 3.1, weighted)", p.u, p.i, mean)
+		}
+	}
+}
+
 // TestDownsamplingProbabilityBounds verifies the Theorem 3.2 sandwich: the
 // degree quantity (1/du + 1/dv) used for p_e is a genuine upper bound of
 // effective resistance on a graph where resistance is computable by hand:

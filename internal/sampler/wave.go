@@ -21,8 +21,11 @@ import (
 // Every walk step is one keyed-hash draw: rng.Hash64(seed^walkSeedTag,
 // ghead<<10 | step<<1 | side) yields 64 uniform bits, reduced to a neighbor
 // index by a multiply-shift (bias < degree/2^64, i.e. < 2^-32 for 32-bit
-// vertex ids — far below the sampler's statistical noise). Draws are
-// therefore unique per (head, side, step) and depend on nothing but the
+// vertex ids — far below the sampler's statistical noise). On weighted
+// graphs the same single draw resolves a Vose alias-table lookup instead:
+// high bits pick the slot, low 32 bits are the acceptance coin (see
+// graph.AliasNeighbor and DESIGN.md "Weighted walking"). Either way draws
+// are unique per (head, side, step) and depend on nothing but the
 // head's identity, which makes endpoints a pure function of (graph, seed,
 // heads) — independent of wave membership (waveSize), chunk geometry
 // (GOMAXPROCS) and state order (the grouping). Earlier revisions built a
@@ -77,6 +80,7 @@ func runWave(g *graph.Graph, wave []headRec, states, scratch []uint64, cursors [
 	}
 
 	walkSeed := seed ^ walkSeedTag
+	weighted := g.Weighted()
 	for round := 0; n > 0; round++ {
 		radix.SortBytesBuf(states[:n], scratch, 4, 4+curBytes)
 		par.WorkerFor(n, walkGrain, func(worker, lo, hi int) {
@@ -115,8 +119,12 @@ func runWave(g *graph.Graph, wave []headRec, states, scratch []uint64, cursors [
 							begun = true
 						}
 						draw := rng.Hash64(walkSeed, (base+uint64(head))<<10|uint64(round)<<1|side)
-						pick, _ := bits.Mul64(draw, uint64(d))
-						next = nc.Neighbor(int(pick))
+						if weighted {
+							next = nc.AliasNeighbor(draw)
+						} else {
+							pick, _ := bits.Mul64(draw, uint64(d))
+							next = nc.Neighbor(int(pick))
+						}
 					}
 					states[i] = packState(next, steps-1, int(side), head)
 				}
