@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: tier1 build test race vet fuzz bench bench-drain bench-sample serve-bench check all
+.PHONY: tier1 build test race vet fuzz bench bench-drain bench-sample serve-bench smoke-replication check all
 
 all: tier1 vet
 
@@ -24,13 +24,16 @@ test:
 # sampler → sharded table → grouped drain stress test (undersized tables
 # force concurrent grows), the parallel compressed-adjacency builder
 # (unsorted-input error reporting races the workers), and the
-# fault-injection harness driving the supervised ingest loop. The second
-# line runs the root package's crash-safe checkpoint and fault-injection
-# tests (kill-mid-write, CRC fallback) under the detector without dragging
-# the full factorization test suite through -race.
+# fault-injection harness driving the supervised ingest loop and the
+# leader→follower replication suite (mid-ship kills, corrupt payloads,
+# leader-death degradation). The second line runs the root package's
+# crash-safe checkpoint, fault-injection, and end-to-end replication tests
+# (kill-mid-write, CRC fallback, failover smoke, checkpoint-rewrite racing
+# hot-swap) under the detector without dragging the full factorization test
+# suite through -race.
 race:
 	$(GO) test -race ./internal/serve ./internal/ann ./internal/dynamic ./internal/hashtable ./internal/aggregate ./internal/par ./internal/sampler ./internal/compress ./internal/faultinject
-	$(GO) test -race -run 'Checkpoint|Embedding' .
+	$(GO) test -race -run 'Checkpoint|Embedding|Replication' .
 
 # Short runs of every fuzz target: the text/binary embedding readers and the
 # public graph loader (root), the edge-list/binary graph loaders (graph),
@@ -43,6 +46,7 @@ fuzz:
 	$(GO) test -run xxx -fuzz FuzzReadEmbeddingText -fuzztime $(FUZZTIME) .
 	$(GO) test -run xxx -fuzz FuzzReadEmbeddingBinary -fuzztime $(FUZZTIME) .
 	$(GO) test -run xxx -fuzz 'FuzzReadEmbedding$$' -fuzztime $(FUZZTIME) .
+	$(GO) test -run xxx -fuzz FuzzReadCheckpointFrom -fuzztime $(FUZZTIME) .
 	$(GO) test -run xxx -fuzz FuzzLoadGraphPublic -fuzztime $(FUZZTIME) .
 	$(GO) test -run xxx -fuzz FuzzLoadEdgeList -fuzztime $(FUZZTIME) ./internal/graph
 	$(GO) test -run xxx -fuzz FuzzReadBinary -fuzztime $(FUZZTIME) ./internal/graph
@@ -78,6 +82,12 @@ bench-sample:
 # Quick serving throughput/latency check (closed-loop load generator).
 serve-bench:
 	$(GO) test -run xxx -bench BenchmarkServing -benchtime 2000x .
+
+# Failover drill: boot a leader and two followers on loopback, publish two
+# generations, kill the leader, and assert both followers keep answering
+# /v1/neighbors from their replicated snapshots (see TestReplicationSmoke).
+smoke-replication:
+	$(GO) test -race -run TestReplicationSmoke -v -count=1 .
 
 # ANN benchmarks: exact scan vs IVF at several probe widths plus index
 # build cost (internal/ann), then the HTTP recall/qps frontier sweep that

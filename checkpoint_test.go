@@ -125,13 +125,14 @@ func TestCheckpointTornFinalFileDetectedByCRC(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	// Truncation mid-data: short read reported with byte-offset context.
+	// Truncation mid-data: the declared shape no longer fits the file's
+	// actual size, so the read is rejected before any data allocation.
 	if err := os.WriteFile(path, raw[:len(raw)-10], 0o644); err != nil {
 		t.Fatal(err)
 	}
 	_, err = lightne.ReadCheckpoint(path)
-	if err == nil || !strings.Contains(err.Error(), "byte offset") {
-		t.Fatalf("truncated checkpoint: want byte-offset error, got %v", err)
+	if err == nil || !strings.Contains(err.Error(), "truncated or hostile header") {
+		t.Fatalf("truncated checkpoint: want shape-vs-size error, got %v", err)
 	}
 
 	// A single flipped bit mid-data: CRC mismatch.
@@ -179,5 +180,108 @@ func TestCheckpointRejectsUnchecksummedFormats(t *testing.T) {
 	_, err := lightne.ReadCheckpoint(path)
 	if err == nil || !strings.Contains(err.Error(), "no checksum") {
 		t.Fatalf("v2 checkpoint: want no-checksum rejection, got %v", err)
+	}
+}
+
+// TestCheckpointHostileHeaderRejected: a header declaring a multi-gigabyte
+// shape over a tiny file must be rejected by the size bound before any
+// allocation happens — both from disk (ReadCheckpoint stats the file) and
+// from a sized stream (the replication fetch path).
+func TestCheckpointHostileHeaderRejected(t *testing.T) {
+	hostile := make([]byte, 24)
+	binary.LittleEndian.PutUint32(hostile[0:], 0x42454e4c) // "LNEB"
+	binary.LittleEndian.PutUint32(hostile[4:], 3)
+	binary.LittleEndian.PutUint32(hostile[8:], 1<<20)  // rows
+	binary.LittleEndian.PutUint32(hostile[12:], 1<<11) // cols: 2^31 elements, ~17 GB
+
+	path := filepath.Join(t.TempDir(), "hostile.ckpt")
+	if err := os.WriteFile(path, hostile, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err := lightne.ReadCheckpoint(path)
+	if err == nil || !strings.Contains(err.Error(), "truncated or hostile header") {
+		t.Fatalf("hostile file header: got %v", err)
+	}
+
+	_, err = lightne.ReadCheckpointFrom(bytes.NewReader(hostile), int64(len(hostile)))
+	if err == nil || !strings.Contains(err.Error(), "truncated or hostile header") {
+		t.Fatalf("hostile stream header: got %v", err)
+	}
+
+	if err := lightne.ValidateCheckpointPayload(hostile); err == nil {
+		t.Fatal("payload validator accepted a hostile header")
+	}
+}
+
+// TestCheckpointPayloadRoundTrip: EncodeCheckpoint → validate → persist via
+// WriteCheckpointBytes → ReadCheckpoint recovers the matrix bit-identically.
+// This is the exact byte path a follower runs on every applied generation.
+func TestCheckpointPayloadRoundTrip(t *testing.T) {
+	x := gaussian(t, 9, 5, 11)
+	payload, err := lightne.EncodeCheckpoint(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := lightne.ValidateCheckpointPayload(payload); err != nil {
+		t.Fatal(err)
+	}
+	// The in-memory encoding is byte-identical to the streaming one.
+	var buf bytes.Buffer
+	if err := lightne.WriteCheckpointTo(&buf, x); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), payload) {
+		t.Fatal("EncodeCheckpoint and WriteCheckpointTo disagree")
+	}
+
+	path := filepath.Join(t.TempDir(), "replica.ckpt")
+	if err := lightne.WriteCheckpointBytes(path, payload); err != nil {
+		t.Fatal(err)
+	}
+	y, err := lightne.ReadCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bitIdentical(t, x, y)
+	if _, err := os.Stat(path + ".tmp"); !os.IsNotExist(err) {
+		t.Fatalf("temp file still present: %v", err)
+	}
+}
+
+// TestCheckpointPayloadValidation: the cheap validator rejects every
+// corruption class a follower can receive — short payloads, bad magic,
+// wrong version, shape/length disagreement, flipped bits — and a rejected
+// payload never reaches disk through WriteCheckpointBytes.
+func TestCheckpointPayloadValidation(t *testing.T) {
+	x := gaussian(t, 4, 3, 12)
+	good, err := lightne.EncodeCheckpoint(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name    string
+		mutate  func([]byte) []byte
+		wantErr string
+	}{
+		{"short", func(p []byte) []byte { return p[:10] }, "too short"},
+		{"bad magic", func(p []byte) []byte { p[0] ^= 0xff; return p }, "bad magic"},
+		{"wrong version", func(p []byte) []byte { p[4] = 2; return p }, "format v2"},
+		{"truncated body", func(p []byte) []byte { return p[:len(p)-8] }, "want"},
+		{"trailing junk", func(p []byte) []byte { return append(p, 0) }, "want"},
+		{"flipped bit", func(p []byte) []byte { p[len(p)/2] ^= 0x01; return p }, "checksum mismatch"},
+	}
+	for _, tc := range cases {
+		p := tc.mutate(append([]byte(nil), good...))
+		err := lightne.ValidateCheckpointPayload(p)
+		if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+			t.Fatalf("%s: got %v, want %q", tc.name, err, tc.wantErr)
+		}
+		path := filepath.Join(t.TempDir(), "bad.ckpt")
+		if err := lightne.WriteCheckpointBytes(path, p); err == nil {
+			t.Fatalf("%s: WriteCheckpointBytes accepted a corrupt payload", tc.name)
+		}
+		if _, err := os.Stat(path); !os.IsNotExist(err) {
+			t.Fatalf("%s: corrupt payload reached disk", tc.name)
+		}
 	}
 }

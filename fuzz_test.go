@@ -65,6 +65,18 @@ func binarySeedCorpus(f *testing.F) [][]byte {
 	return [][]byte{v1, v2, v3.Bytes()}
 }
 
+// hostileShapeSeed is a v3 header declaring a ~17 GB embedding (2^20 ×
+// 2^11 float64) over an 8-byte body — the allocation-bomb input the
+// size-bounded readers must reject before reserving any memory.
+func hostileShapeSeed() []byte {
+	out := make([]byte, 16, 24)
+	binary.LittleEndian.PutUint32(out[0:], 0x42454e4c) // "LNEB"
+	binary.LittleEndian.PutUint32(out[4:], 3)
+	binary.LittleEndian.PutUint32(out[8:], 1<<20)  // rows
+	binary.LittleEndian.PutUint32(out[12:], 1<<11) // cols
+	return append(out, 0xde, 0xad, 0xbe, 0xef, 0x01, 0x02, 0x03, 0x04)
+}
+
 // FuzzReadEmbeddingBinary asserts the binary reader rejects corruption
 // without panicking and roundtrips valid payloads in every framing.
 func FuzzReadEmbeddingBinary(f *testing.F) {
@@ -73,6 +85,7 @@ func FuzzReadEmbeddingBinary(f *testing.F) {
 	}
 	f.Add([]byte{})
 	f.Add([]byte("LNE1aaaaaaaaaaaa"))
+	f.Add(hostileShapeSeed())
 	f.Fuzz(func(t *testing.T, data []byte) {
 		y, err := lightne.ReadEmbeddingBinary(bytes.NewReader(data))
 		if err != nil {
@@ -96,6 +109,7 @@ func FuzzReadEmbedding(f *testing.F) {
 	f.Add([]byte("1 2\n3 4\n"))
 	f.Add([]byte{})
 	f.Add([]byte("LNEB"))
+	f.Add(hostileShapeSeed())
 	f.Fuzz(func(t *testing.T, data []byte) {
 		y, err := lightne.ReadEmbedding(bytes.NewReader(data))
 		if err != nil {
@@ -106,6 +120,36 @@ func FuzzReadEmbedding(f *testing.F) {
 		}
 		if y.Cols > 1<<20 {
 			t.Fatal("accepted implausible dimension")
+		}
+	})
+}
+
+// FuzzReadCheckpointFrom drives the size-bounded checkpoint decoder — the
+// path replication followers feed untrusted network bytes through. It must
+// never panic or over-allocate, and any stream it accepts must carry a
+// canonical v3 payload that ValidateCheckpointPayload also accepts.
+func FuzzReadCheckpointFrom(f *testing.F) {
+	for _, seed := range binarySeedCorpus(f) {
+		f.Add(seed)
+	}
+	f.Add(hostileShapeSeed())
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		y, err := lightne.ReadCheckpointFrom(bytes.NewReader(data), int64(len(data)))
+		if err != nil {
+			return
+		}
+		if y.Rows <= 0 || y.Cols <= 0 || len(y.Data) != y.Rows*y.Cols {
+			t.Fatal("accepted checkpoint with inconsistent shape")
+		}
+		// The decoder consumes a prefix-complete stream; that canonical
+		// prefix must be exactly what the payload validator accepts.
+		n := 20 + 8*y.Rows*y.Cols
+		if n > len(data) {
+			t.Fatalf("accepted %dx%d from only %d bytes", y.Rows, y.Cols, len(data))
+		}
+		if err := lightne.ValidateCheckpointPayload(data[:n]); err != nil {
+			t.Fatalf("decoder accepted a payload the validator rejects: %v", err)
 		}
 	})
 }

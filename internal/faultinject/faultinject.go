@@ -40,6 +40,16 @@ const (
 	// CheckpointRename fires before the temp file is atomically renamed
 	// over the checkpoint path.
 	CheckpointRename Point = "checkpoint.rename"
+	// ReplicaMeta fires before a follower polls the leader's snapshot
+	// metadata endpoint.
+	ReplicaMeta Point = "replica.meta"
+	// ReplicaFetch fires on every read of a shipped snapshot's body — an
+	// error at call k aborts the transfer after k-1 successful reads,
+	// simulating a follower killed (or a connection cut) mid-ship.
+	ReplicaFetch Point = "replica.fetch"
+	// ReplicaApply fires after a shipped snapshot is fetched and decoded,
+	// before the follower hot-swaps it live.
+	ReplicaApply Point = "replica.apply"
 )
 
 // Hooks is the interface production code fires points against.

@@ -104,7 +104,8 @@ type Metrics struct {
 	endpoints map[string]*endpointStats
 	panics    atomic.Int64
 	shed      atomic.Int64
-	ingest    func() IngestStatus // nil unless an ingester is attached
+	ingest    func() IngestStatus  // nil unless an ingester is attached
+	replica   func() ReplicaStatus // nil unless a replicator is attached
 
 	// Search-path accounting: which path answered (IVF probe vs exact scan)
 	// and how many row-distance computations it spent — the live view of
@@ -278,6 +279,31 @@ func (m *Metrics) WriteTo(w io.Writer) (int64, error) {
 			{"lightne_ingest_published_total", st.Published},
 			{"lightne_ingest_batches_applied_total", st.BatchesApplied},
 			{"lightne_ingest_batches_dropped_total", st.BatchesDropped},
+		} {
+			if err := emit("%s %d\n", g.name, g.v); err != nil {
+				return n, err
+			}
+		}
+	}
+	if m.replica != nil {
+		st := m.replica()
+		degraded := 0
+		if st.State == "degraded" {
+			degraded = 1
+		}
+		if err := emit("lightne_replica_generation %d\n", st.Generation); err != nil {
+			return n, err
+		}
+		if err := emit("lightne_replica_lag_seconds %g\n", st.LagSeconds); err != nil {
+			return n, err
+		}
+		for _, g := range []struct {
+			name string
+			v    int64
+		}{
+			{"lightne_replica_fetch_failures_total", st.FetchFailures},
+			{"lightne_replica_applied_total", st.Applied},
+			{"lightne_replica_degraded", int64(degraded)},
 		} {
 			if err := emit("%s %d\n", g.name, g.v); err != nil {
 				return n, err

@@ -1,0 +1,403 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"lightne/internal/ann"
+	"lightne/internal/faultinject"
+)
+
+// Follower replication: a Replicator tails a leader's published snapshots
+// and keeps a local Store hot-swapped to the latest generation, so a fleet
+// of read replicas serves the leader's embedding without sharing any
+// state but an HTTP URL.
+//
+// The loop is poll-based and pull-only: every Poll interval the follower
+// GETs /v1/snapshot/meta (cheap JSON); when the ETag moves it GETs
+// /v1/snapshot, validates the payload (the decoder checks the CRC-32C
+// trailer and bounds the declared shape by the Content-Length before
+// allocating), rebuilds the ANN index locally, and publishes through the
+// same atomic Store path every other publisher uses — queries in flight
+// keep reading the previous snapshot until the swap, exactly as with a
+// local hot-swap.
+//
+// Failure philosophy: a replica exists to keep answering reads, so no
+// leader failure is ever allowed to take the follower's snapshot away.
+// Fetch errors are retried with capped exponential backoff + jitter; a
+// payload that fails validation is discarded without touching the live
+// snapshot; and when the leader stays unreachable past StaleAfter the
+// follower enters a *degraded (stale)* state — still serving its last
+// good generation, reporting the staleness on /healthz and exporting lag
+// metrics so operators (and the consistent-hash router the roadmap plans)
+// can see exactly how far behind each replica is.
+type Replicator struct {
+	store  *Store
+	cfg    ReplicaConfig
+	client *http.Client
+	hooks  faultinject.Hooks
+
+	start         time.Time
+	generation    atomic.Uint64 // last applied leader generation
+	lastContact   atomic.Int64  // unix nanos of the last successful leader exchange
+	fetchFailures atomic.Int64
+	applied       atomic.Int64
+
+	mu       sync.Mutex
+	lastETag string
+	lastErr  string
+}
+
+// Replication defaults.
+const (
+	DefaultReplicaPoll       = 2 * time.Second
+	DefaultReplicaBackoffMax = 30 * time.Second
+	DefaultFetchTimeout      = 30 * time.Second
+	DefaultStaleAfter        = 30 * time.Second
+)
+
+// ReplicaConfig tunes a follower.
+type ReplicaConfig struct {
+	// Leader is the leader's base URL (e.g. "http://10.0.0.1:7475").
+	Leader string
+	// Decode turns a fetched payload into a servable Index. size is the
+	// transfer's Content-Length (-1 when unknown) so the decoder can bound
+	// allocations; the decoder owns integrity validation (for the standard
+	// wire format: lightne.ReadCheckpointFrom, which verifies the CRC-32C
+	// trailer, then NewIndex). Required.
+	Decode func(r io.Reader, size int64) (Index, error)
+	// Poll is the steady-state meta poll interval (default 2s).
+	Poll time.Duration
+	// BackoffMax caps the exponential failure backoff (default 30s). The
+	// backoff starts at Poll, doubles per consecutive failure, and is
+	// jittered to [d/2, d] so a follower fleet doesn't stampede a
+	// recovering leader.
+	BackoffMax time.Duration
+	// FetchTimeout is the per-request deadline for both the meta poll and
+	// the payload download (default 30s).
+	FetchTimeout time.Duration
+	// StaleAfter is how long the leader may be unreachable before the
+	// follower reports itself degraded/stale (default 30s). Serving is
+	// unaffected — degraded means "answers may be stale", not "down".
+	StaleAfter time.Duration
+	// ANN configures the locally rebuilt IVF index for each applied
+	// snapshot (the wire carries only the embedding: replicas may run
+	// different nlist/nprobe trade-offs than their leader).
+	ANN ann.Config
+	// OnApply, when non-nil, runs after each successful hot-swap with the
+	// raw shipped payload — the hook lightne-serve uses to persist the
+	// bytes as its own warm-restart checkpoint and to re-ship them to
+	// downstream followers.
+	OnApply func(generation uint64, payload []byte, rows, dims int)
+	// Hooks injects faults for testing (nil = none). Fired at
+	// faultinject.ReplicaMeta / ReplicaFetch / ReplicaApply.
+	Hooks faultinject.Hooks
+	// Client overrides the HTTP client (default: a plain client;
+	// per-request deadlines come from FetchTimeout contexts).
+	Client *http.Client
+	// Logf, when non-nil, receives progress and failure lines.
+	Logf func(format string, args ...any)
+}
+
+// NewReplicator builds a follower over store. Call Run in a goroutine.
+func NewReplicator(store *Store, cfg ReplicaConfig) (*Replicator, error) {
+	if cfg.Leader == "" {
+		return nil, errors.New("serve: replica needs a leader URL")
+	}
+	if cfg.Decode == nil {
+		return nil, errors.New("serve: replica needs a Decode function")
+	}
+	if cfg.Poll <= 0 {
+		cfg.Poll = DefaultReplicaPoll
+	}
+	if cfg.BackoffMax < cfg.Poll {
+		cfg.BackoffMax = DefaultReplicaBackoffMax
+	}
+	if cfg.FetchTimeout <= 0 {
+		cfg.FetchTimeout = DefaultFetchTimeout
+	}
+	if cfg.StaleAfter <= 0 {
+		cfg.StaleAfter = DefaultStaleAfter
+	}
+	client := cfg.Client
+	if client == nil {
+		client = &http.Client{}
+	}
+	return &Replicator{
+		store:  store,
+		cfg:    cfg,
+		client: client,
+		hooks:  faultinject.OrNop(cfg.Hooks),
+		start:  time.Now(),
+	}, nil
+}
+
+// ReplicaStatus is a point-in-time view of replication health.
+type ReplicaStatus struct {
+	// State is "syncing" (no successful leader contact yet), "ok", or
+	// "degraded" (no contact for longer than StaleAfter; the last good
+	// snapshot is still served).
+	State string
+	// Generation is the last applied leader generation (0 before the
+	// first apply).
+	Generation uint64
+	// LagSeconds is the time since the last successful leader exchange
+	// (since Run started, before the first one).
+	LagSeconds float64
+	// FetchFailures counts failed meta polls, downloads, and rejected
+	// payloads.
+	FetchFailures int64
+	// Applied counts snapshots hot-swapped live.
+	Applied int64
+	// LastError is the most recent failure ("" if none).
+	LastError string
+}
+
+// Status reports the current replication health. Safe for concurrent use
+// with Run.
+func (r *Replicator) Status() ReplicaStatus {
+	st := ReplicaStatus{
+		Generation:    r.generation.Load(),
+		FetchFailures: r.fetchFailures.Load(),
+		Applied:       r.applied.Load(),
+	}
+	last := r.lastContact.Load()
+	contacted := last != 0
+	if !contacted {
+		last = r.start.UnixNano()
+	}
+	st.LagSeconds = time.Since(time.Unix(0, last)).Seconds()
+	switch {
+	case st.LagSeconds > r.cfg.StaleAfter.Seconds():
+		st.State = "degraded"
+	case contacted:
+		st.State = "ok"
+	default:
+		st.State = "syncing"
+	}
+	r.mu.Lock()
+	st.LastError = r.lastErr
+	r.mu.Unlock()
+	return st
+}
+
+// Run tails the leader until ctx is canceled (its only return reason; the
+// loop survives every fetch failure by design). Typical wiring:
+//
+//	rep, _ := NewReplicator(store, cfg)
+//	go rep.Run(ctx)
+//	srv := New(store, WithReplicator(rep))
+func (r *Replicator) Run(ctx context.Context) error {
+	delay := r.cfg.Poll
+	for {
+		err := r.syncOnce(ctx)
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		if err != nil {
+			r.fetchFailures.Add(1)
+			r.setErr(err)
+			sleepFor := jitter(delay)
+			r.logf("replica: %v (next attempt in %s)", err, sleepFor.Round(time.Millisecond))
+			if sleep(ctx, sleepFor) != nil {
+				return ctx.Err()
+			}
+			delay = backoffNext(delay, r.cfg.BackoffMax)
+			continue
+		}
+		delay = r.cfg.Poll
+		if sleep(ctx, delay) != nil {
+			return ctx.Err()
+		}
+	}
+}
+
+// syncOnce performs one meta poll and, when the leader offers a new
+// generation, one fetch + validate + hot-swap.
+func (r *Replicator) syncOnce(ctx context.Context) error {
+	meta, err := r.fetchMeta(ctx)
+	if err != nil {
+		return err
+	}
+	r.touch()
+	r.mu.Lock()
+	seen := r.lastETag
+	r.mu.Unlock()
+	if meta.ETag == seen {
+		return nil // leader unchanged; the poll itself refreshed the lag clock
+	}
+	gen, payload, rows, dims, err := r.fetchSnapshot(ctx)
+	if err != nil {
+		return err
+	}
+	if err := r.hooks.Fire(faultinject.ReplicaApply); err != nil {
+		return fmt.Errorf("applying generation %d: %w", gen, err)
+	}
+	ix, err := r.cfg.Decode(bytes.NewReader(payload), int64(len(payload)))
+	if err != nil {
+		return fmt.Errorf("rejecting shipped generation %d: %w", gen, err)
+	}
+	if ix.Rows() <= 0 || ix.Dims() <= 0 {
+		return fmt.Errorf("rejecting shipped generation %d: empty index (%dx%d)", gen, ix.Rows(), ix.Dims())
+	}
+	if rows >= 0 && (ix.Rows() != rows || ix.Dims() != dims) {
+		return fmt.Errorf("rejecting shipped generation %d: decoded shape %dx%d does not match advertised %dx%d", gen, ix.Rows(), ix.Dims(), rows, dims)
+	}
+	ivf, err := BuildANN(ix, r.cfg.ANN)
+	if err != nil {
+		r.logf("replica: ANN rebuild failed for generation %d, serving exact scans: %v", gen, err)
+		ivf = nil
+	}
+	r.store.PublishWithANN(ix, ivf, 0)
+	r.generation.Store(gen)
+	r.applied.Add(1)
+	r.mu.Lock()
+	r.lastETag = meta.ETag
+	r.lastErr = ""
+	r.mu.Unlock()
+	r.touch()
+	r.logf("replica: applied leader generation %d (%dx%d, %d bytes)", gen, ix.Rows(), ix.Dims(), len(payload))
+	if r.cfg.OnApply != nil {
+		r.cfg.OnApply(gen, payload, ix.Rows(), ix.Dims())
+	}
+	return nil
+}
+
+// fetchMeta polls /v1/snapshot/meta with the configured deadline.
+func (r *Replicator) fetchMeta(ctx context.Context) (SnapshotMeta, error) {
+	var meta SnapshotMeta
+	if err := r.hooks.Fire(faultinject.ReplicaMeta); err != nil {
+		return meta, fmt.Errorf("polling leader meta: %w", err)
+	}
+	ctx, cancel := context.WithTimeout(ctx, r.cfg.FetchTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, r.cfg.Leader+"/v1/snapshot/meta", nil)
+	if err != nil {
+		return meta, err
+	}
+	resp, err := r.client.Do(req)
+	if err != nil {
+		return meta, fmt.Errorf("polling leader meta: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<12))
+		return meta, fmt.Errorf("leader meta: %s", resp.Status)
+	}
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<16)).Decode(&meta); err != nil {
+		return meta, fmt.Errorf("decoding leader meta: %w", err)
+	}
+	return meta, nil
+}
+
+// fetchSnapshot downloads the current shipment. Every body read fires the
+// ReplicaFetch hook, so tests can cut the transfer at an exact byte-stream
+// position; the advertised rows/dims come back for cross-checking the
+// decode ((-1,-1) when the leader predates the headers).
+func (r *Replicator) fetchSnapshot(ctx context.Context) (gen uint64, payload []byte, rows, dims int, err error) {
+	ctx, cancel := context.WithTimeout(ctx, r.cfg.FetchTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, r.cfg.Leader+"/v1/snapshot", nil)
+	if err != nil {
+		return 0, nil, 0, 0, err
+	}
+	resp, err := r.client.Do(req)
+	if err != nil {
+		return 0, nil, 0, 0, fmt.Errorf("fetching snapshot: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<12))
+		return 0, nil, 0, 0, fmt.Errorf("fetching snapshot: %s", resp.Status)
+	}
+	gen, err = strconv.ParseUint(resp.Header.Get(headerGeneration), 10, 64)
+	if err != nil {
+		return 0, nil, 0, 0, fmt.Errorf("fetching snapshot: bad %s header %q", headerGeneration, resp.Header.Get(headerGeneration))
+	}
+	rows, dims = -1, -1
+	if v := resp.Header.Get(headerRows); v != "" {
+		if rows, err = strconv.Atoi(v); err != nil {
+			return 0, nil, 0, 0, fmt.Errorf("fetching snapshot: bad %s header %q", headerRows, v)
+		}
+	}
+	if v := resp.Header.Get(headerDims); v != "" {
+		if dims, err = strconv.Atoi(v); err != nil {
+			return 0, nil, 0, 0, fmt.Errorf("fetching snapshot: bad %s header %q", headerDims, v)
+		}
+	}
+	body := hookedReader{r: resp.Body, hooks: r.hooks}
+	payload, err = readAllSized(body, resp.ContentLength)
+	if err != nil {
+		return 0, nil, 0, 0, fmt.Errorf("downloading generation %d: %w", gen, err)
+	}
+	return gen, payload, rows, dims, nil
+}
+
+func (r *Replicator) touch() { r.lastContact.Store(time.Now().UnixNano()) }
+
+func (r *Replicator) setErr(err error) {
+	r.mu.Lock()
+	r.lastErr = err.Error()
+	r.mu.Unlock()
+}
+
+func (r *Replicator) logf(format string, args ...any) {
+	if r.cfg.Logf != nil {
+		r.cfg.Logf(format, args...)
+	}
+}
+
+// backoffNext doubles the failure delay up to max.
+func backoffNext(d, max time.Duration) time.Duration {
+	d *= 2
+	if d > max {
+		d = max
+	}
+	return d
+}
+
+// jitter spreads a delay uniformly over [d/2, d] so follower fleets
+// desynchronize instead of stampeding a recovering leader.
+func jitter(d time.Duration) time.Duration {
+	if d <= 1 {
+		return d
+	}
+	half := d / 2
+	return half + time.Duration(rand.Int63n(int64(half)+1))
+}
+
+// hookedReader fires the ReplicaFetch point before every Read — the seam
+// that lets tests abort a transfer after an exact number of reads.
+type hookedReader struct {
+	r     io.Reader
+	hooks faultinject.Hooks
+}
+
+func (h hookedReader) Read(p []byte) (int, error) {
+	if err := h.hooks.Fire(faultinject.ReplicaFetch); err != nil {
+		return 0, err
+	}
+	return h.r.Read(p)
+}
+
+// readAllSized is io.ReadAll with the buffer pre-grown to the declared
+// Content-Length when it is known and sane, avoiding regrow copies on
+// multi-megabyte payloads without trusting an absurd header.
+func readAllSized(r io.Reader, size int64) ([]byte, error) {
+	if size <= 0 || size >= 1<<31 {
+		return io.ReadAll(r)
+	}
+	buf := bytes.NewBuffer(make([]byte, 0, size))
+	_, err := io.Copy(buf, r)
+	return buf.Bytes(), err
+}

@@ -1,0 +1,632 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"lightne"
+	"lightne/internal/dense"
+	"lightne/internal/faultinject"
+)
+
+// Replication tests: a real leader Server over loopback HTTP, a real
+// Replicator tailing it, and faults injected deterministically at the
+// replica.* points. Every test in this file runs under `make race`.
+
+// testLeader is a leader Server plus request counters on the shipping
+// endpoints, so tests can assert the ETag protocol actually avoids
+// re-downloads.
+type testLeader struct {
+	store        *Store
+	shipper      *Shipper
+	ts           *httptest.Server
+	snapshotHits atomic.Int64
+	metaHits     atomic.Int64
+}
+
+func newTestLeader(t *testing.T) *testLeader {
+	t.Helper()
+	l := &testLeader{store: NewStore(), shipper: NewShipper()}
+	inner := New(l.store, WithShipper(l.shipper)).Handler()
+	l.ts = httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch r.URL.Path {
+		case "/v1/snapshot":
+			l.snapshotHits.Add(1)
+		case "/v1/snapshot/meta":
+			l.metaHits.Add(1)
+		}
+		inner.ServeHTTP(w, r)
+	}))
+	t.Cleanup(l.ts.Close)
+	return l
+}
+
+// ship publishes a fresh n×d generation to the leader's store and offers
+// its encoded checkpoint payload to followers, returning the matrix.
+func (l *testLeader) ship(t *testing.T, n, d int, seed uint64) *dense.Matrix {
+	t.Helper()
+	x := dense.NewMatrix(n, d)
+	x.FillGaussian(seed)
+	ix, err := NewIndex(x, "float32")
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := l.store.Publish(ix, 0)
+	payload, err := lightne.EncodeCheckpoint(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.shipper.Publish(NewShipment(payload, snap.Version, n, d))
+	return x
+}
+
+// realDecode is the production follower codec: CRC-verified checkpoint
+// stream → float32 index.
+func realDecode(r io.Reader, size int64) (Index, error) {
+	x, err := lightne.ReadCheckpointFrom(r, size)
+	if err != nil {
+		return nil, err
+	}
+	return NewIndex(x, "float32")
+}
+
+// startReplicator runs rep until the test ends (cleanup cancels and waits,
+// so no goroutine outlives its test).
+func startReplicator(t *testing.T, rep *Replicator) {
+	t.Helper()
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		_ = rep.Run(ctx)
+	}()
+	t.Cleanup(func() {
+		cancel()
+		<-done
+	})
+}
+
+// newFollower builds a fast-polling replicator over a fresh store.
+func newFollower(t *testing.T, leaderURL string, mutate func(*ReplicaConfig)) (*Store, *Replicator) {
+	t.Helper()
+	store := NewStore()
+	cfg := ReplicaConfig{
+		Leader:     leaderURL,
+		Decode:     realDecode,
+		Poll:       2 * time.Millisecond,
+		BackoffMax: 20 * time.Millisecond,
+		StaleAfter: time.Hour, // tests that exercise staleness shrink this
+		Logf:       t.Logf,
+	}
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	rep, err := NewReplicator(store, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return store, rep
+}
+
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+// vectorClose asserts the follower serves (bit-faithfully quantized)
+// leader data — generation convergence plus payload integrity.
+func vectorClose(t *testing.T, ix Index, x *dense.Matrix, v int) {
+	t.Helper()
+	got := ix.Vector(v)
+	want := x.Row(v)
+	if len(got) != len(want) {
+		t.Fatalf("vector %d has %d dims, want %d", v, len(got), len(want))
+	}
+	for j := range want {
+		if got[j] != float32(want[j]) {
+			t.Fatalf("vector %d dim %d = %v, want %v", v, j, got[j], float32(want[j]))
+		}
+	}
+}
+
+// TestReplicatorTailsLeader: a follower converges to each published
+// generation, and steady-state polling costs meta requests only — the
+// payload downloads exactly once per generation (ETag protocol).
+func TestReplicatorTailsLeader(t *testing.T) {
+	leader := newTestLeader(t)
+	x1 := leader.ship(t, 40, 6, 1)
+
+	store, rep := newFollower(t, leader.ts.URL, nil)
+	startReplicator(t, rep)
+
+	waitFor(t, "generation 1", func() bool { return rep.Status().Generation == 1 })
+	snap := store.Snapshot()
+	if snap == nil {
+		t.Fatal("no snapshot after apply")
+	}
+	vectorClose(t, snap.Index, x1, 3)
+
+	x2 := leader.ship(t, 50, 6, 2)
+	waitFor(t, "generation 2", func() bool { return rep.Status().Generation == 2 })
+	vectorClose(t, store.Snapshot().Index, x2, 7)
+	if rows := store.Snapshot().Index.Rows(); rows != 50 {
+		t.Fatalf("follower rows %d, want 50", rows)
+	}
+
+	// Let a stretch of unchanged polls pass: meta traffic only.
+	downloads := leader.snapshotHits.Load()
+	metaBefore := leader.metaHits.Load()
+	waitFor(t, "20 more meta polls", func() bool { return leader.metaHits.Load() >= metaBefore+20 })
+	if got := leader.snapshotHits.Load(); got != downloads {
+		t.Fatalf("unchanged leader caused %d extra snapshot downloads", got-downloads)
+	}
+	if got := downloads; got != 2 {
+		t.Fatalf("snapshot downloaded %d times, want once per generation (2)", got)
+	}
+
+	if st := rep.Status(); st.State != "ok" || st.Applied != 2 || st.LastError != "" {
+		t.Fatalf("status = %+v, want ok/2 applies/no error", st)
+	}
+}
+
+// TestReplicatorKilledMidShip: the transfer of a multi-megabyte payload is
+// cut partway through (injected read failure — the wire equivalent of a
+// follower killed mid-ship). The failed attempt must leave no snapshot
+// behind, and the retry loop must converge to the leader's generation with
+// intact data.
+func TestReplicatorKilledMidShip(t *testing.T) {
+	leader := newTestLeader(t)
+	// 16384×16 float64 ≈ 2 MB: large enough that the cut (read #2, i.e.
+	// after at most one socket buffer) is always strictly mid-stream.
+	x := leader.ship(t, 16384, 16, 3)
+
+	inj := faultinject.New()
+	inj.FailAt(faultinject.ReplicaFetch, 2, nil)
+	store, rep := newFollower(t, leader.ts.URL, func(cfg *ReplicaConfig) { cfg.Hooks = inj })
+	startReplicator(t, rep)
+
+	waitFor(t, "recovery to generation 1", func() bool { return rep.Status().Generation == 1 })
+	st := rep.Status()
+	if st.FetchFailures == 0 {
+		t.Fatal("cut transfer not counted as a fetch failure")
+	}
+	if inj.Calls(faultinject.ReplicaFetch) < 3 {
+		t.Fatalf("transfer finished in %d reads; the injected cut never hit mid-stream", inj.Calls(faultinject.ReplicaFetch))
+	}
+	vectorClose(t, store.Snapshot().Index, x, 12345)
+	if got := store.Snapshot().Index.Rows(); got != 16384 {
+		t.Fatalf("rows %d, want 16384", got)
+	}
+}
+
+// TestReplicatorLeaderDownServesStale: when the leader dies, the follower
+// keeps answering queries from its last good snapshot indefinitely,
+// reports degraded (stale) on /healthz at HTTP 200, and its lag metric
+// advances while fetch failures accumulate.
+func TestReplicatorLeaderDownServesStale(t *testing.T) {
+	leader := newTestLeader(t)
+	x := leader.ship(t, 40, 8, 4)
+
+	store, rep := newFollower(t, leader.ts.URL, func(cfg *ReplicaConfig) {
+		cfg.StaleAfter = 30 * time.Millisecond
+	})
+	startReplicator(t, rep)
+	waitFor(t, "initial sync", func() bool { return rep.Status().Generation == 1 })
+
+	follower := httptest.NewServer(New(store, WithReplicator(rep)).Handler())
+	defer follower.Close()
+
+	leader.ts.Close() // leader gone
+
+	waitFor(t, "degraded state", func() bool { return rep.Status().State == "degraded" })
+	st1 := rep.Status()
+	if st1.FetchFailures == 0 {
+		t.Fatal("no fetch failures recorded against a dead leader")
+	}
+
+	// Reads keep working from the stale snapshot.
+	var nr NeighborsResponse
+	if code := getJSON(t, follower.URL+"/v1/neighbors?vertex=5&k=3", &nr); code != http.StatusOK {
+		t.Fatalf("stale follower answered %d, want 200", code)
+	}
+	if len(nr.Neighbors) != 3 {
+		t.Fatalf("got %d neighbors, want 3", len(nr.Neighbors))
+	}
+	vectorClose(t, store.Snapshot().Index, x, 0)
+
+	// /healthz: degraded (stale) at 200, replica fields populated.
+	var h HealthResponse
+	if code := getJSON(t, follower.URL+"/healthz", &h); code != http.StatusOK {
+		t.Fatalf("healthz answered %d, want 200 (degraded must keep routing reads)", code)
+	}
+	if h.Status != "degraded (stale)" {
+		t.Fatalf("healthz status %q, want \"degraded (stale)\"", h.Status)
+	}
+	if h.ReplicaGeneration != 1 || h.ReplicaLagSeconds <= 0 {
+		t.Fatalf("healthz replica fields = gen %d lag %g", h.ReplicaGeneration, h.ReplicaLagSeconds)
+	}
+	if !strings.Contains(h.Reason, "leader unreachable") {
+		t.Fatalf("healthz reason %q", h.Reason)
+	}
+
+	// Lag advances while the leader stays dead, failures accumulate.
+	time.Sleep(30 * time.Millisecond)
+	st2 := rep.Status()
+	if st2.LagSeconds <= st1.LagSeconds {
+		t.Fatalf("lag did not advance: %g then %g", st1.LagSeconds, st2.LagSeconds)
+	}
+	waitFor(t, "more fetch failures", func() bool { return rep.Status().FetchFailures > st1.FetchFailures })
+
+	// /metrics exports the replica gauges.
+	resp, err := http.Get(follower.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	text := string(body)
+	for _, want := range []string{
+		"lightne_replica_generation 1",
+		"lightne_replica_lag_seconds ",
+		"lightne_replica_fetch_failures_total ",
+		"lightne_replica_degraded 1",
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("metrics missing %q:\n%s", want, text)
+		}
+	}
+}
+
+// TestReplicatorRejectsCorruptPayload: a shipped payload with a flipped
+// bit must fail the CRC check at the follower and be discarded without
+// disturbing the live snapshot; a subsequent good generation is applied.
+func TestReplicatorRejectsCorruptPayload(t *testing.T) {
+	leader := newTestLeader(t)
+	x1 := leader.ship(t, 30, 4, 5)
+
+	store, rep := newFollower(t, leader.ts.URL, nil)
+	startReplicator(t, rep)
+	waitFor(t, "initial sync", func() bool { return rep.Status().Generation == 1 })
+	live := store.Snapshot()
+
+	// Generation 2 ships corrupted: one bit flipped mid-payload.
+	x2 := dense.NewMatrix(30, 4)
+	x2.FillGaussian(6)
+	payload, err := lightne.EncodeCheckpoint(x2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload[len(payload)/2] ^= 0x10
+	leader.shipper.Publish(NewShipment(payload, 2, 30, 4))
+
+	failures := rep.Status().FetchFailures
+	waitFor(t, "corrupt payload rejected", func() bool { return rep.Status().FetchFailures > failures })
+	// The rejection leaves the last good snapshot live and the generation
+	// unmoved — poll a few more times to prove it never slips through.
+	time.Sleep(20 * time.Millisecond)
+	if st := rep.Status(); st.Generation != 1 {
+		t.Fatalf("corrupt payload applied: generation %d", st.Generation)
+	}
+	if store.Snapshot() != live {
+		t.Fatal("live snapshot was replaced by a corrupt payload")
+	}
+	if st := rep.Status(); !strings.Contains(st.LastError, "checksum mismatch") {
+		t.Fatalf("last error %q, want checksum mismatch", st.LastError)
+	}
+	vectorClose(t, store.Snapshot().Index, x1, 2)
+
+	// A good generation 3 still lands: the loop is not wedged.
+	x3 := dense.NewMatrix(30, 4)
+	x3.FillGaussian(7)
+	ix3, err := NewIndex(x3, "float32")
+	if err != nil {
+		t.Fatal(err)
+	}
+	leader.store.Publish(ix3, 0)
+	p3, err := lightne.EncodeCheckpoint(x3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	leader.shipper.Publish(NewShipment(p3, 3, 30, 4))
+	waitFor(t, "generation 3", func() bool { return rep.Status().Generation == 3 })
+	vectorClose(t, store.Snapshot().Index, x3, 2)
+}
+
+// TestReplicatorShapeMismatchRejected: a payload whose decoded shape
+// disagrees with the leader's advertised rows/dims headers is rejected
+// (defense against a mis-published shipment).
+func TestReplicatorShapeMismatchRejected(t *testing.T) {
+	leader := newTestLeader(t)
+	x := dense.NewMatrix(20, 4)
+	x.FillGaussian(8)
+	payload, err := lightne.EncodeCheckpoint(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Advertise the wrong shape.
+	leader.shipper.Publish(NewShipment(payload, 1, 21, 4))
+
+	store, rep := newFollower(t, leader.ts.URL, nil)
+	startReplicator(t, rep)
+	waitFor(t, "rejection", func() bool { return rep.Status().FetchFailures > 0 })
+	if store.Snapshot() != nil {
+		t.Fatal("mismatched shipment was applied")
+	}
+	if st := rep.Status(); !strings.Contains(st.LastError, "does not match advertised") {
+		t.Fatalf("last error %q", st.LastError)
+	}
+}
+
+// TestReplicatorWarmRestartCatchesUp: a follower restarted from its own
+// checkpoint (store pre-published with an old generation) starts serving
+// immediately and converges to the leader's current generation.
+func TestReplicatorWarmRestartCatchesUp(t *testing.T) {
+	leader := newTestLeader(t)
+	xNew := leader.ship(t, 25, 4, 10)
+
+	store := NewStore()
+	// Simulate the warm restart: an older local snapshot is already live.
+	old := dense.NewMatrix(10, 4)
+	old.FillGaussian(9)
+	ix, err := NewIndex(old, "float32")
+	if err != nil {
+		t.Fatal(err)
+	}
+	store.Publish(ix, 0)
+
+	rep, err := NewReplicator(store, ReplicaConfig{
+		Leader: leader.ts.URL,
+		Decode: realDecode,
+		Poll:   2 * time.Millisecond,
+		Logf:   t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	startReplicator(t, rep)
+	waitFor(t, "catch-up", func() bool { return rep.Status().Generation == 1 })
+	if got := store.Snapshot().Index.Rows(); got != 25 {
+		t.Fatalf("rows %d after catch-up, want 25", got)
+	}
+	vectorClose(t, store.Snapshot().Index, xNew, 11)
+}
+
+// TestReplicatorAppliesANNLocally: a follower configured with ANN rebuilds
+// the IVF index for each applied generation — the wire carries only the
+// embedding.
+func TestReplicatorAppliesANNLocally(t *testing.T) {
+	leader := newTestLeader(t)
+	leader.ship(t, 600, 8, 12)
+
+	store, rep := newFollower(t, leader.ts.URL, func(cfg *ReplicaConfig) {
+		cfg.ANN.Enabled = true
+		cfg.ANN.MinRows = 100
+		cfg.ANN.NList = 8
+		cfg.ANN.NProbe = 2
+	})
+	startReplicator(t, rep)
+	waitFor(t, "sync", func() bool { return rep.Status().Generation == 1 })
+	snap := store.Snapshot()
+	if snap.ANN == nil {
+		t.Fatal("follower snapshot has no locally rebuilt ANN index")
+	}
+	if got := snap.ANN.Rows(); got != 600 {
+		t.Fatalf("ANN index over %d rows, want 600", got)
+	}
+}
+
+// TestSnapshotEndpoints: the leader's shipping endpoints — 404 without a
+// shipper, 503 before the first ship, payload + headers after, 304 on a
+// matching If-None-Match.
+func TestSnapshotEndpoints(t *testing.T) {
+	// No shipper: not a leader.
+	plain := httptest.NewServer(New(NewStore()).Handler())
+	defer plain.Close()
+	resp, err := http.Get(plain.URL + "/v1/snapshot")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("no-shipper snapshot: %d, want 404", resp.StatusCode)
+	}
+
+	leader := newTestLeader(t)
+	resp, err = http.Get(leader.ts.URL + "/v1/snapshot/meta")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("pre-ship meta: %d, want 503", resp.StatusCode)
+	}
+
+	x := leader.ship(t, 12, 3, 13)
+	var meta SnapshotMeta
+	if code := getJSON(t, leader.ts.URL+"/v1/snapshot/meta", &meta); code != http.StatusOK {
+		t.Fatalf("meta: %d", code)
+	}
+	if meta.Generation != 1 || meta.Rows != 12 || meta.Dims != 3 || meta.ETag == "" {
+		t.Fatalf("meta = %+v", meta)
+	}
+
+	resp, err = http.Get(leader.ts.URL + "/v1/snapshot")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("snapshot: %d", resp.StatusCode)
+	}
+	if got := resp.Header.Get("ETag"); got != meta.ETag {
+		t.Fatalf("ETag %q, want %q", got, meta.ETag)
+	}
+	if got := resp.Header.Get(headerGeneration); got != "1" {
+		t.Fatalf("generation header %q", got)
+	}
+	if int64(len(body)) != meta.Bytes {
+		t.Fatalf("payload %d bytes, meta says %d", len(body), meta.Bytes)
+	}
+	// The payload is a decodable checkpoint for exactly the shipped matrix.
+	y, err := lightne.ReadCheckpointFrom(strings.NewReader(string(body)), int64(len(body)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if y.Rows != 12 || y.Cols != 3 || y.Data[5] != x.Data[5] {
+		t.Fatalf("decoded payload %dx%d", y.Rows, y.Cols)
+	}
+
+	// Conditional fetch: unchanged ETag answers 304 with no body.
+	req, _ := http.NewRequest(http.MethodGet, leader.ts.URL+"/v1/snapshot", nil)
+	req.Header.Set("If-None-Match", meta.ETag)
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotModified || len(body) != 0 {
+		t.Fatalf("conditional fetch: %d with %d body bytes, want 304 empty", resp.StatusCode, len(body))
+	}
+}
+
+// TestReadyzLifecycle: /readyz answers 503 until the first snapshot is
+// live, then 200 with the snapshot version — the signal a load balancer
+// uses to admit a follower that has completed its first sync.
+func TestReadyzLifecycle(t *testing.T) {
+	store := NewStore()
+	srv := New(store)
+
+	rec := httptest.NewRecorder()
+	srv.Handler().ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/readyz", nil))
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("pre-snapshot readyz: %d, want 503", rec.Code)
+	}
+	var rr ReadyResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &rr); err != nil {
+		t.Fatal(err)
+	}
+	if rr.Status != "unready" || rr.Reason == "" {
+		t.Fatalf("pre-snapshot ready body %+v", rr)
+	}
+
+	ix, err := NewIndex(clusteredEmbedding(10, 4), "float32")
+	if err != nil {
+		t.Fatal(err)
+	}
+	store.Publish(ix, 0)
+
+	rec = httptest.NewRecorder()
+	srv.Handler().ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/readyz", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("post-snapshot readyz: %d, want 200", rec.Code)
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &rr); err != nil {
+		t.Fatal(err)
+	}
+	if rr.Status != "ready" || rr.SnapshotVersion != 1 {
+		t.Fatalf("post-snapshot ready body %+v", rr)
+	}
+}
+
+// TestReadyzNeverShed: even with the concurrency limiter saturated (query
+// traffic answering 503), /readyz — like /healthz — bypasses shedding, so
+// an overloaded replica is not yanked from rotation by its probe.
+func TestReadyzNeverShed(t *testing.T) {
+	store := NewStore()
+	ix, err := NewIndex(clusteredEmbedding(10, 4), "float32")
+	if err != nil {
+		t.Fatal(err)
+	}
+	store.Publish(ix, 0)
+	srv := New(store, WithLimits(Limits{MaxInFlight: 1}))
+	srv.inflight <- struct{}{} // saturate the limiter
+
+	// The query path is shed…
+	rec := httptest.NewRecorder()
+	srv.Handler().ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/v1/neighbors?vertex=0", nil))
+	if rec.Code != http.StatusServiceUnavailable || !strings.Contains(rec.Body.String(), "concurrency limit") {
+		t.Fatalf("saturated query path answered %d %q", rec.Code, rec.Body.String())
+	}
+	// …but readyz, the snapshot endpoints, and metrics all still answer.
+	for _, path := range []string{"/readyz", "/metrics"} {
+		rec = httptest.NewRecorder()
+		srv.Handler().ServeHTTP(rec, httptest.NewRequest(http.MethodGet, path, nil))
+		if rec.Code != http.StatusOK {
+			t.Fatalf("saturated %s answered %d, want 200", path, rec.Code)
+		}
+	}
+}
+
+// TestShipmentETagIdentifiesPayload: the ETag's checksum half must vary
+// with the payload bytes. Regression: hashing the whole v3 payload — which
+// ends with its own CRC-32C trailer — yields the fixed CRC residue
+// 0x48674bc7 for EVERY payload, so the ETag must reuse the embedded
+// trailer instead.
+func TestShipmentETagIdentifiesPayload(t *testing.T) {
+	payload := func(seed uint64) []byte {
+		x := dense.NewMatrix(6, 3)
+		x.FillGaussian(seed)
+		p, err := lightne.EncodeCheckpoint(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	a := NewShipment(payload(1), 1, 6, 3)
+	b := NewShipment(payload(2), 1, 6, 3)
+	if a.ETag == b.ETag {
+		t.Fatalf("different payloads share ETag %q", a.ETag)
+	}
+	if strings.HasPrefix(a.ETag, "48674bc7") && strings.HasPrefix(b.ETag, "48674bc7") {
+		t.Fatal("ETags carry the constant CRC-32C residue, not a content hash")
+	}
+	// Same payload, same generation → stable ETag.
+	if c := NewShipment(payload(1), 1, 6, 3); c.ETag != a.ETag {
+		t.Fatalf("same payload produced ETags %q and %q", a.ETag, c.ETag)
+	}
+	// Same payload, new generation → ETag moves (the follower must re-fetch
+	// to learn the new generation number even if bytes matched).
+	if d := NewShipment(payload(1), 2, 6, 3); d.ETag == a.ETag {
+		t.Fatal("generation bump did not move the ETag")
+	}
+}
+
+// TestReplicaBackoff: the failure delay doubles up to the cap, and jitter
+// keeps every draw within [d/2, d].
+func TestReplicaBackoff(t *testing.T) {
+	d := 10 * time.Millisecond
+	max := 70 * time.Millisecond
+	var seq []time.Duration
+	for i := 0; i < 5; i++ {
+		d = backoffNext(d, max)
+		seq = append(seq, d)
+	}
+	want := []time.Duration{20, 40, 70, 70, 70}
+	for i, w := range want {
+		if seq[i] != w*time.Millisecond {
+			t.Fatalf("backoff step %d = %s, want %s", i, seq[i], w*time.Millisecond)
+		}
+	}
+	for i := 0; i < 200; i++ {
+		j := jitter(40 * time.Millisecond)
+		if j < 20*time.Millisecond || j > 40*time.Millisecond {
+			t.Fatalf("jitter %s outside [20ms, 40ms]", j)
+		}
+	}
+}

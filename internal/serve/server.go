@@ -16,7 +16,17 @@ const (
 	epEmbedding = "embedding"
 	epBatch     = "batch"
 	epHealth    = "healthz"
+	epReady     = "readyz"
 	epMetrics   = "metrics"
+	epSnapshot  = "snapshot"
+	epSnapMeta  = "snapshot_meta"
+)
+
+// Replication headers attached to /v1/snapshot responses.
+const (
+	headerGeneration = "X-Lightne-Generation"
+	headerRows       = "X-Lightne-Rows"
+	headerDims       = "X-Lightne-Dims"
 )
 
 // DefaultK is the neighbor count used when a query omits k.
@@ -33,6 +43,8 @@ type Server struct {
 	metrics  *Metrics
 	mux      *http.ServeMux
 	ingester *Ingester
+	shipper  *Shipper
+	replica  *Replicator
 	limits   Limits
 	inflight chan struct{}
 }
@@ -53,11 +65,27 @@ func WithLimits(l Limits) Option {
 	return func(s *Server) { s.limits = l }
 }
 
+// WithShipper makes this server a replication leader: the shipper's
+// current shipment is served on /v1/snapshot (the raw checkpoint payload)
+// and /v1/snapshot/meta (generation/ETag JSON, so followers poll without
+// re-downloading). Without it those endpoints answer 404.
+func WithShipper(sp *Shipper) Option {
+	return func(s *Server) { s.shipper = sp }
+}
+
+// WithReplicator attaches the follower's replication loop so /healthz
+// reflects its staleness state (degraded when the leader has been
+// unreachable past StaleAfter, with the last good snapshot still served)
+// and /metrics exports the replica generation/lag/failure counters.
+func WithReplicator(r *Replicator) Option {
+	return func(s *Server) { s.replica = r }
+}
+
 // New builds a server over the given snapshot store.
 func New(store *Store, opts ...Option) *Server {
 	s := &Server{
 		store:   store,
-		metrics: NewMetrics(store, epNeighbors, epEmbedding, epBatch, epHealth, epMetrics),
+		metrics: NewMetrics(store, epNeighbors, epEmbedding, epBatch, epHealth, epReady, epMetrics, epSnapshot, epSnapMeta),
 		mux:     http.NewServeMux(),
 	}
 	for _, opt := range opts {
@@ -66,12 +94,17 @@ func New(store *Store, opts ...Option) *Server {
 	if s.ingester != nil {
 		s.metrics.ingest = s.ingester.Status
 	}
+	if s.replica != nil {
+		s.metrics.replica = s.replica.Status
+	}
 	if s.limits.MaxInFlight > 0 {
 		s.inflight = make(chan struct{}, s.limits.MaxInFlight)
 	}
 	// Query endpoints get the full chain (recovery → shedding/deadline →
-	// handler); health and metrics get recovery only, so probes are never
-	// shed.
+	// handler); health, readiness, metrics, and the replication control
+	// plane get recovery only: probes must see an overloaded server alive
+	// (not 503), and a follower must be able to ship a snapshot while the
+	// leader sheds query load.
 	query := func(name string, h http.HandlerFunc) http.HandlerFunc {
 		return s.instrument(name, s.recovered(s.shedded(h)))
 	}
@@ -82,7 +115,10 @@ func New(store *Store, opts ...Option) *Server {
 	s.mux.HandleFunc("GET /v1/embedding/{vertex}", query(epEmbedding, s.handleEmbedding))
 	s.mux.HandleFunc("POST /v1/batch", query(epBatch, s.handleBatch))
 	s.mux.HandleFunc("GET /healthz", always(epHealth, s.handleHealth))
+	s.mux.HandleFunc("GET /readyz", always(epReady, s.handleReady))
 	s.mux.HandleFunc("GET /metrics", always(epMetrics, s.handleMetrics))
+	s.mux.HandleFunc("GET /v1/snapshot", always(epSnapshot, s.handleSnapshot))
+	s.mux.HandleFunc("GET /v1/snapshot/meta", always(epSnapMeta, s.handleSnapshotMeta))
 	return s
 }
 
@@ -200,10 +236,13 @@ type EmbeddingResponse struct {
 }
 
 // HealthResponse answers /healthz. Status is "loading" (no snapshot yet,
-// 503), "ok", or "degraded" (the attached ingester exceeded its restart
-// budget; the last snapshot is still served, so the response stays 200 —
-// degraded means "stale but alive", and a load balancer must not stop
-// routing reads to it).
+// 503), "ok", "degraded" (the attached ingester exceeded its restart
+// budget), or "degraded (stale)" (a follower whose leader has been
+// unreachable past StaleAfter). In every degraded form the last snapshot
+// is still served, so the response stays 200 — degraded means "stale but
+// alive", and a load balancer must not stop routing reads to it. Routing
+// decisions belong on /readyz, which is about having anything to serve at
+// all.
 type HealthResponse struct {
 	Status          string  `json:"status"`
 	Reason          string  `json:"reason,omitempty"`
@@ -217,6 +256,22 @@ type HealthResponse struct {
 	ANN       bool `json:"ann"`
 	ANNNList  int  `json:"ann_nlist,omitempty"`
 	ANNNProbe int  `json:"ann_nprobe,omitempty"`
+	// Replica fields (followers only): the last applied leader generation
+	// and how long ago the leader was last reachable.
+	ReplicaGeneration uint64  `json:"replica_generation,omitempty"`
+	ReplicaLagSeconds float64 `json:"replica_lag_seconds,omitempty"`
+}
+
+// ReadyResponse answers /readyz: "ready" (200) once a snapshot is
+// published, "unready" (503) before — so a load balancer never routes
+// queries to an empty replica that is still tailing its leader (or a
+// -watch server still loading its artifact). Distinct from /healthz on
+// purpose: a degraded-stale follower is unhealthy but ready (it has data
+// to serve); a freshly started follower is healthy but unready.
+type ReadyResponse struct {
+	Status          string `json:"status"`
+	Reason          string `json:"reason,omitempty"`
+	SnapshotVersion uint64 `json:"snapshot_version,omitempty"`
 }
 
 // snapshotOr503 loads the current snapshot, answering 503 when the store
@@ -378,7 +433,74 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 			h.IngestRestarts = st.Restarts
 		}
 	}
+	if s.replica != nil {
+		st := s.replica.Status()
+		h.ReplicaGeneration = st.Generation
+		h.ReplicaLagSeconds = st.LagSeconds
+		if st.State == "degraded" {
+			h.Status = "degraded (stale)"
+			h.Reason = fmt.Sprintf("leader unreachable for %.1fs (stale threshold exceeded); serving last good generation %d", st.LagSeconds, st.Generation)
+			if st.LastError != "" {
+				h.Reason += ": " + st.LastError
+			}
+		}
+	}
 	writeJSON(w, http.StatusOK, h)
+}
+
+func (s *Server) handleReady(w http.ResponseWriter, r *http.Request) {
+	snap := s.store.Snapshot()
+	if snap == nil {
+		writeJSON(w, http.StatusServiceUnavailable, ReadyResponse{Status: "unready", Reason: "no snapshot published yet"})
+		return
+	}
+	writeJSON(w, http.StatusOK, ReadyResponse{Status: "ready", SnapshotVersion: snap.Version})
+}
+
+// handleSnapshotMeta answers the follower's cheap poll: generation, ETag,
+// and shape of the currently offered shipment.
+func (s *Server) handleSnapshotMeta(w http.ResponseWriter, r *http.Request) {
+	sh, ok := s.currentShipment(w)
+	if !ok {
+		return
+	}
+	writeJSON(w, http.StatusOK, sh.Meta())
+}
+
+// handleSnapshot streams the offered shipment — the exact CRC-trailed
+// checkpoint payload — with ETag/generation/shape headers. If-None-Match
+// lets a follower (or any cache) skip an unchanged body with a 304.
+func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	sh, ok := s.currentShipment(w)
+	if !ok {
+		return
+	}
+	w.Header().Set("ETag", sh.ETag)
+	w.Header().Set(headerGeneration, strconv.FormatUint(sh.Generation, 10))
+	w.Header().Set(headerRows, strconv.Itoa(sh.Rows))
+	w.Header().Set(headerDims, strconv.Itoa(sh.Dims))
+	if r.Header.Get("If-None-Match") == sh.ETag {
+		w.WriteHeader(http.StatusNotModified)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("Content-Length", strconv.Itoa(len(sh.Payload)))
+	_, _ = w.Write(sh.Payload)
+}
+
+// currentShipment loads the offered shipment, answering 404 on a server
+// that is not a leader and 503 before the first ship.
+func (s *Server) currentShipment(w http.ResponseWriter) (*Shipment, bool) {
+	if s.shipper == nil {
+		writeError(w, http.StatusNotFound, "this server does not ship snapshots (no shipper attached)")
+		return nil, false
+	}
+	sh := s.shipper.Current()
+	if sh == nil {
+		writeError(w, http.StatusServiceUnavailable, "no snapshot shipped yet")
+		return nil, false
+	}
+	return sh, true
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {

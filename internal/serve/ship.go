@@ -1,0 +1,114 @@
+package serve
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"sync/atomic"
+	"time"
+)
+
+// Snapshot shipping, the leader half of replication. A Shipment is one
+// published generation in its wire form: the exact CRC-32C-trailed LNEB v3
+// checkpoint payload the follower will decode (and may persist verbatim as
+// its own warm-restart checkpoint — wire format and disk format are the
+// same bytes by design). The leader encodes each generation once at
+// publish time and then serves the same immutable buffer to every
+// follower; like query snapshots, shipments live behind an atomic pointer
+// so /v1/snapshot never blocks a publish and vice versa.
+//
+// Followers poll /v1/snapshot/meta (a few hundred bytes of JSON) and only
+// download /v1/snapshot when the ETag moves, so steady-state replication
+// traffic is the meta poll, not the payload.
+
+// Shipment is one encoded snapshot generation offered to followers.
+type Shipment struct {
+	// Payload is the complete checkpoint encoding (LNEB v3). Immutable
+	// after Publish.
+	Payload []byte
+	// Generation is the publishing store's snapshot version; followers
+	// report it back as lightne_replica_generation.
+	Generation uint64
+	// ETag identifies the payload bytes (CRC-32C, hex). Followers compare
+	// it against the meta poll to skip re-downloading, and verify it after
+	// a fetch to detect a swap that landed mid-download.
+	ETag string
+	// Rows, Dims describe the encoded embedding (for meta, logging).
+	Rows, Dims int
+	// Published is when this generation was shipped.
+	Published time.Time
+}
+
+// shipCRCTable is the Castagnoli table used when an ETag must be computed
+// from scratch (payload too short to carry a v3 trailer).
+var shipCRCTable = crc32.MakeTable(crc32.Castagnoli)
+
+// payloadCRC extracts the content checksum identifying a shipment. A v3
+// payload already ends with crc32c(header+data), so the trailer bytes ARE
+// the content hash — reuse them rather than hashing the whole payload
+// again: checksumming a buffer that ends with its own CRC yields the
+// fixed CRC-32C residue (0x48674bc7) for every input, which would make
+// the ETag's checksum half a constant.
+func payloadCRC(payload []byte) uint32 {
+	if len(payload) >= 4 {
+		return binary.LittleEndian.Uint32(payload[len(payload)-4:])
+	}
+	return crc32.Checksum(payload, shipCRCTable)
+}
+
+// NewShipment wraps an encoded checkpoint payload for publication. The
+// caller must not modify payload afterwards.
+func NewShipment(payload []byte, generation uint64, rows, dims int) *Shipment {
+	return &Shipment{
+		Payload:    payload,
+		Generation: generation,
+		ETag:       fmt.Sprintf("%08x-%d", payloadCRC(payload), generation),
+		Rows:       rows,
+		Dims:       dims,
+		Published:  time.Now(),
+	}
+}
+
+// Shipper holds the current shipment behind an atomic pointer — the
+// shipping analogue of Store. A Server built WithShipper serves it on
+// /v1/snapshot and /v1/snapshot/meta.
+type Shipper struct {
+	cur atomic.Pointer[Shipment]
+}
+
+// NewShipper returns an empty shipper; Current is nil until the first
+// Publish.
+func NewShipper() *Shipper { return &Shipper{} }
+
+// Publish atomically replaces the offered shipment. In-flight downloads of
+// the previous shipment finish unharmed (the buffer is immutable).
+func (sp *Shipper) Publish(sh *Shipment) { sp.cur.Store(sh) }
+
+// Current returns the offered shipment, or nil before the first Publish.
+func (sp *Shipper) Current() *Shipment { return sp.cur.Load() }
+
+// SnapshotMeta answers /v1/snapshot/meta: everything a follower needs to
+// decide whether to download, without the payload.
+type SnapshotMeta struct {
+	Generation uint64 `json:"generation"`
+	ETag       string `json:"etag"`
+	Rows       int    `json:"rows"`
+	Dims       int    `json:"dims"`
+	Bytes      int64  `json:"bytes"`
+	// PublishedUnixNano is the leader-side publish time (informational;
+	// followers compute lag from their own successful-contact clock, not
+	// from cross-host timestamps).
+	PublishedUnixNano int64 `json:"published_unix_nano"`
+}
+
+// Meta summarizes a shipment for the meta endpoint.
+func (sh *Shipment) Meta() SnapshotMeta {
+	return SnapshotMeta{
+		Generation:        sh.Generation,
+		ETag:              sh.ETag,
+		Rows:              sh.Rows,
+		Dims:              sh.Dims,
+		Bytes:             int64(len(sh.Payload)),
+		PublishedUnixNano: sh.Published.UnixNano(),
+	}
+}

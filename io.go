@@ -172,6 +172,16 @@ func ReadEmbeddingBinary(r io.Reader) (*Matrix, error) {
 // readEmbeddingBinary parses any supported binary framing and reports the
 // version it found (1, 2, or 3).
 func readEmbeddingBinary(r io.Reader) (*Matrix, int, error) {
+	return readEmbeddingBinarySized(r, -1)
+}
+
+// readEmbeddingBinarySized is readEmbeddingBinary with a known input size:
+// remaining, when >= 0, is the total byte length of the stream behind r
+// (a stat'ed file, an HTTP Content-Length), and the declared rows×cols is
+// rejected before any allocation when the payload it implies cannot fit in
+// that many bytes — an adversarial header never sizes memory. remaining < 0
+// means the size is unknown and only the incremental-growth bound applies.
+func readEmbeddingBinarySized(r io.Reader, remaining int64) (*Matrix, int, error) {
 	br := bufio.NewReader(r)
 	crc := crc32.New(crcTable)
 	offset := int64(0)
@@ -224,6 +234,15 @@ func readEmbeddingBinary(r io.Reader) (*Matrix, int, error) {
 	// Grow with the data actually present so a corrupt header cannot force
 	// a huge allocation.
 	total := rows * cols
+	if remaining >= 0 {
+		need := offset + int64(total)*8
+		if version >= 3 {
+			need += 4 // CRC trailer
+		}
+		if need > remaining {
+			return nil, 0, fmt.Errorf("lightne: embedding declares shape %dx%d (%d bytes) but input holds only %d bytes: truncated or hostile header", rows, cols, need, remaining)
+		}
+	}
 	capHint := total
 	if capHint > 1<<18 {
 		capHint = 1 << 18

@@ -1,0 +1,304 @@
+package lightne_test
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"lightne"
+	"lightne/internal/dense"
+	"lightne/internal/serve"
+)
+
+// End-to-end replication: these tests exercise the whole stack — the root
+// package's CRC-checked checkpoint codec as the wire format, the serve
+// layer's leader endpoints and follower replicator, and real HTTP over
+// loopback listeners.
+
+func waitUntil(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(15 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(3 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+func fetchJSON(t *testing.T, url string, out any) int {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(body, out); err != nil {
+		t.Fatalf("GET %s: decoding %q: %v", url, body, err)
+	}
+	return resp.StatusCode
+}
+
+// replicaDecode is the production follower codec.
+func replicaDecode(r io.Reader, size int64) (serve.Index, error) {
+	x, err := lightne.ReadCheckpointFrom(r, size)
+	if err != nil {
+		return nil, err
+	}
+	return serve.NewIndex(x, "float32")
+}
+
+// TestReplicationSmoke boots a leader and two followers on loopback,
+// publishes two generations, kills the leader, and asserts both followers
+// keep answering /v1/neighbors from their replicated snapshots while
+// reporting degraded (stale) health. This is the scripted failover drill
+// behind `make smoke-replication`.
+func TestReplicationSmoke(t *testing.T) {
+	// Leader: store + shipper behind a real loopback listener.
+	leaderStore := serve.NewStore()
+	shipper := serve.NewShipper()
+	leaderTS := httptest.NewServer(serve.New(leaderStore, serve.WithShipper(shipper)).Handler())
+	defer leaderTS.Close()
+
+	publish := func(n, d int, seed uint64) {
+		t.Helper()
+		x := dense.NewMatrix(n, d)
+		x.FillGaussian(seed)
+		ix, err := serve.NewIndex(x, "float32")
+		if err != nil {
+			t.Fatal(err)
+		}
+		snap := leaderStore.Publish(ix, 0)
+		payload, err := lightne.EncodeCheckpoint(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		shipper.Publish(serve.NewShipment(payload, snap.Version, n, d))
+	}
+	publish(60, 8, 1)
+
+	// Two followers, each with its own store, replicator, and listener.
+	type follower struct {
+		store *serve.Store
+		rep   *serve.Replicator
+		ts    *httptest.Server
+	}
+	var followers []*follower
+	ctx, cancel := context.WithCancel(context.Background())
+	var wg sync.WaitGroup
+	defer func() {
+		cancel()
+		wg.Wait()
+	}()
+	for i := 0; i < 2; i++ {
+		store := serve.NewStore()
+		rep, err := serve.NewReplicator(store, serve.ReplicaConfig{
+			Leader:     leaderTS.URL,
+			Decode:     replicaDecode,
+			Poll:       3 * time.Millisecond,
+			BackoffMax: 30 * time.Millisecond,
+			StaleAfter: 40 * time.Millisecond,
+			Logf:       t.Logf,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_ = rep.Run(ctx)
+		}()
+		ts := httptest.NewServer(serve.New(store, serve.WithReplicator(rep)).Handler())
+		defer ts.Close()
+		followers = append(followers, &follower{store: store, rep: rep, ts: ts})
+	}
+
+	// Both followers sync generation 1 and flip ready.
+	for i, fo := range followers {
+		fo := fo
+		waitUntil(t, fmt.Sprintf("follower %d generation 1", i), func() bool {
+			return fo.rep.Status().Generation == 1
+		})
+		var ready struct {
+			Status          string `json:"status"`
+			SnapshotVersion uint64 `json:"snapshot_version"`
+		}
+		if code := fetchJSON(t, fo.ts.URL+"/readyz", &ready); code != http.StatusOK || ready.Status != "ready" {
+			t.Fatalf("follower %d readyz: %d %+v", i, code, ready)
+		}
+	}
+
+	// Second generation propagates to both.
+	publish(80, 8, 2)
+	for i, fo := range followers {
+		fo := fo
+		waitUntil(t, fmt.Sprintf("follower %d generation 2", i), func() bool {
+			return fo.rep.Status().Generation == 2
+		})
+	}
+
+	// Kill the leader.
+	leaderTS.Close()
+
+	for i, fo := range followers {
+		fo := fo
+		waitUntil(t, fmt.Sprintf("follower %d degraded", i), func() bool {
+			return fo.rep.Status().State == "degraded"
+		})
+		// Reads still answer from the last good generation.
+		var nr serve.NeighborsResponse
+		if code := fetchJSON(t, fo.ts.URL+"/v1/neighbors?vertex=3&k=5", &nr); code != http.StatusOK {
+			t.Fatalf("follower %d query after leader death: %d", i, code)
+		}
+		if len(nr.Neighbors) != 5 {
+			t.Fatalf("follower %d returned %d neighbors, want 5", i, len(nr.Neighbors))
+		}
+		var h serve.HealthResponse
+		if code := fetchJSON(t, fo.ts.URL+"/healthz", &h); code != http.StatusOK {
+			t.Fatalf("follower %d healthz after leader death: %d", i, code)
+		}
+		if h.Status != "degraded (stale)" || h.ReplicaGeneration != 2 {
+			t.Fatalf("follower %d health = %q gen %d, want degraded (stale) gen 2", i, h.Status, h.ReplicaGeneration)
+		}
+	}
+}
+
+// TestCheckpointRewriteRacingHotSwap runs the three actors of a live
+// replica concurrently under the race detector: a publisher hot-swapping
+// generations into the store and rewriting the checkpoint, and a
+// warm-restart reader re-loading that checkpoint the whole time. Every
+// generation fills the matrix with a single constant, so any torn read —
+// a checkpoint mixing two generations, or a snapshot observed mid-swap —
+// shows up as a matrix with unequal elements.
+func TestCheckpointRewriteRacingHotSwap(t *testing.T) {
+	const (
+		rows, cols  = 32, 4
+		generations = 60
+	)
+	path := filepath.Join(t.TempDir(), "replica.ckpt")
+	store := serve.NewStore()
+
+	constant := func(v float64) *dense.Matrix {
+		x := dense.NewMatrix(rows, cols)
+		for i := range x.Data {
+			x.Data[i] = v
+		}
+		return x
+	}
+
+	var wg sync.WaitGroup
+	writerDone := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer close(writerDone)
+		for g := 1; g <= generations; g++ {
+			x := constant(float64(g))
+			ix, err := serve.NewIndex(x, "float32")
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			store.Publish(ix, 0)
+			if err := lightne.WriteCheckpoint(path, x); err != nil {
+				t.Errorf("generation %d: %v", g, err)
+				return
+			}
+		}
+	}()
+
+	checkUniform := func(label string, vals []float64) {
+		v := vals[0]
+		for i, e := range vals {
+			if e != v {
+				t.Errorf("%s torn: element %d = %g, element 0 = %g", label, i, e, v)
+				return
+			}
+		}
+		if v < 1 || v > generations || v != float64(int(v)) {
+			t.Errorf("%s holds impossible generation value %g", label, v)
+		}
+	}
+
+	// Warm-restart reader: re-load the checkpoint continuously; every load
+	// must be a complete single generation (the CRC plus atomic rename
+	// guarantee), which it then publishes into its own store like a
+	// restarting follower would.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		restart := serve.NewStore()
+		for {
+			select {
+			case <-writerDone:
+				return
+			default:
+			}
+			x, err := lightne.ReadCheckpoint(path)
+			if err != nil {
+				if os.IsNotExist(err) {
+					continue // before the first rename lands
+				}
+				t.Errorf("warm-restart read: %v", err)
+				return
+			}
+			checkUniform("checkpoint", x.Data)
+			ix, err := serve.NewIndex(x, "float32")
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			restart.Publish(ix, 0)
+		}
+	}()
+
+	// Live reader: the snapshot observed between hot-swaps is always one
+	// complete generation.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-writerDone:
+				return
+			default:
+			}
+			snap := store.Snapshot()
+			if snap == nil {
+				continue
+			}
+			vec := snap.Index.Vector(7)
+			vals := make([]float64, len(vec))
+			for i, f := range vec {
+				vals[i] = float64(f)
+			}
+			checkUniform("snapshot", vals)
+		}
+	}()
+
+	wg.Wait()
+
+	// The surviving checkpoint is the final generation, bit-complete.
+	x, err := lightne.ReadCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range x.Data {
+		if v != generations {
+			t.Fatalf("final checkpoint element %d = %g, want %d", i, v, generations)
+		}
+	}
+}
