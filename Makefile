@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: tier1 build test race vet fuzz bench bench-drain bench-sample serve-bench smoke-replication check all
+.PHONY: tier1 build test race vet fuzz bench bench-drain bench-sample bench-ann bench-factorize serve-bench smoke-replication check all
 
 all: tier1 vet
 
@@ -32,7 +32,7 @@ test:
 # hot-swap) under the detector without dragging the full factorization test
 # suite through -race.
 race:
-	$(GO) test -race ./internal/serve ./internal/ann ./internal/dynamic ./internal/hashtable ./internal/aggregate ./internal/par ./internal/sampler ./internal/compress ./internal/faultinject
+	$(GO) test -race ./internal/serve ./internal/ann ./internal/dynamic ./internal/hashtable ./internal/aggregate ./internal/par ./internal/sampler ./internal/compress ./internal/faultinject ./internal/svd
 	$(GO) test -race -run 'Checkpoint|Embedding|Replication' .
 
 # Short runs of every fuzz target: the text/binary embedding readers and the
@@ -78,6 +78,13 @@ bench-drain:
 bench-sample:
 	$(GO) test -run xxx -bench 'BenchmarkSample$$|BenchmarkSampleSerialFlush|BenchmarkSampleBatched$$|BenchmarkSamplePipelined|BenchmarkSampleBatchedCompressed|BenchmarkSampleBatchedWeighted' -benchmem -count=3 ./internal/sampler
 	$(GO) run ./cmd/lightne-sampler-bench -out BENCH_sampler.json
+
+# Factorization benchmark: multi-pass rSVD vs the single-pass sketched
+# range finder (sign and gaussian test matrices) on an RMAT graph — wall
+# time, the planner's predicted peak, the measured heap high-water mark,
+# and spectrum agreement, recorded to BENCH_factorize.json.
+bench-factorize:
+	$(GO) run ./cmd/lightne-bench -exp e14 -factorize-out BENCH_factorize.json
 
 # Quick serving throughput/latency check (closed-loop load generator).
 serve-bench:

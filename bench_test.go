@@ -508,6 +508,8 @@ func BenchmarkE12_AggregationStrategies(b *testing.B) { benchExperiment(b, "e12"
 
 func BenchmarkE13_CompressionScaling(b *testing.B) { benchExperiment(b, "e13") }
 
+func BenchmarkE14_FactorizationModes(b *testing.B) { benchExperiment(b, "e14") }
+
 // BenchmarkAblation_BatchedWalks compares the per-edge walking schedule
 // (Algorithm 2) against the radix-batched schedule the paper names as
 // future work (§4.2): same trial distribution, different memory access

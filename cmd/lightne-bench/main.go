@@ -6,9 +6,10 @@
 // Usage:
 //
 //	lightne-bench                 # run everything (e1-e10 paper artifacts,
-//	                              # e11-e13 extension experiments)
+//	                              # e11-e14 extension experiments)
 //	lightne-bench -exp e4,e5      # only Table 4 and Figure 2
 //	lightne-bench -quick          # ~10x cheaper smoke run
+//	lightne-bench -exp e14 -factorize-out BENCH_factorize.json
 package main
 
 import (
@@ -23,9 +24,10 @@ import (
 
 func main() {
 	var (
-		exp   = flag.String("exp", "all", "comma-separated experiment IDs (e1..e13) or 'all'")
-		quick = flag.Bool("quick", false, "shrink sweeps and sample budgets for a fast smoke run")
-		seed  = flag.Uint64("seed", 1, "random seed")
+		exp     = flag.String("exp", "all", "comma-separated experiment IDs (e1..e14) or 'all'")
+		quick   = flag.Bool("quick", false, "shrink sweeps and sample budgets for a fast smoke run")
+		seed    = flag.Uint64("seed", 1, "random seed")
+		factOut = flag.String("factorize-out", "", "path for E14's machine-readable record (e.g. BENCH_factorize.json); empty writes nothing")
 	)
 	flag.Parse()
 
@@ -37,7 +39,7 @@ func main() {
 		}
 	}
 	runners := experiments.All()
-	opt := experiments.Options{Seed: *seed, Quick: *quick}
+	opt := experiments.Options{Seed: *seed, Quick: *quick, FactorizeOut: *factOut}
 	start := time.Now()
 	failed := 0
 	for _, id := range ids {

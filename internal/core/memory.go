@@ -7,6 +7,7 @@ import (
 	"lightne/internal/graph"
 	"lightne/internal/par"
 	"lightne/internal/sampler"
+	"lightne/internal/svd"
 )
 
 // MemoryEstimate predicts the peak memory of an Embed run — the planning
@@ -40,9 +41,17 @@ type MemoryEstimate struct {
 	// adjacency in place.
 	DecodeBufferBytes int64
 	// SparsifierBytes is the CSR holding the drained, trunc-logged matrix.
+	// Zero in sketch mode (StreamedSVD): the scaled matrix is never
+	// materialized — see StreamBytes.
 	SparsifierBytes int64
-	// DenseBytes covers the randomized-SVD sketch matrices and the
-	// propagation workspace.
+	// StreamBytes is the drained raw CSR resident while the streamed
+	// factorization consumes it chunk by chunk (StreamedSVD only): the same
+	// 12 bytes per entry plus row pointers the sparsifier would occupy, but
+	// no scaled copy ever coexists with it. Zero in rSVD mode.
+	StreamBytes int64
+	// DenseBytes covers the factorization's dense working set (the
+	// randomized-SVD iterates, or in sketch mode the two sketch accumulators
+	// plus test matrices) and the propagation workspace.
 	DenseBytes int64
 	// GraphBytes is the adjacency storage (offsets, edges, and weights for
 	// weighted graphs), excluding the alias tables accounted separately.
@@ -59,7 +68,7 @@ type MemoryEstimate struct {
 // so a run whose size hint was wrong still fits the reported budget.
 func (m MemoryEstimate) Total() int64 {
 	return m.PeakTableBytes + m.WalkBufferBytes + m.DecodeBufferBytes +
-		m.SparsifierBytes + m.DenseBytes + m.GraphBytes + m.AliasTableBytes
+		m.SparsifierBytes + m.StreamBytes + m.DenseBytes + m.GraphBytes + m.AliasTableBytes
 }
 
 // expectedHeadFraction computes E[p_e] over directed arcs for the config's
@@ -155,12 +164,35 @@ func EstimateMemory(g *graph.Graph, cfg Config) (MemoryEstimate, error) {
 			est.DecodeBufferBytes = int64(par.Workers()) * int64(maxDeg+g.BlockSize()) * 4
 		}
 	}
-	// Randomized SVD keeps ~5 dense n×k float64 matrices (O, Y, B, Z and a
-	// temporary); propagation keeps ~4 n×d.
-	k := cfg.Dim + cfg.Oversample
-	est.DenseBytes = int64(g.NumVertices()) * int64(k) * 8 * 5
+	n := int64(g.NumVertices())
+	if cfg.StreamedSVD {
+		// Sketch mode never materializes the scaled sparsifier: the drained
+		// raw CSR (StreamBytes, same arrays the sparsifier would occupy)
+		// streams through bounded transform buffers into the accumulators,
+		// so SparsifierBytes moves to StreamBytes and the dense side is the
+		// range sketch Y (n×k), the co-range sketch Z (n×l) and the test
+		// matrices: 10·s bytes per row for sparse-sign Ω and Ψ, two more
+		// dense matrices for Gaussian. Smaller than the rSVD's five n×k
+		// whenever d ≥ 16 with the sign default (the planner's strict-lower
+		// guarantee); Gaussian is the accuracy cross-check and prices higher.
+		est.StreamBytes = est.SparsifierBytes
+		est.SparsifierBytes = 0
+		k, l := svd.SketchWidths(g.NumVertices(), cfg.Dim, cfg.Oversample)
+		est.DenseBytes = n * int64(k+l) * 8
+		if cfg.Sketch == svd.SketchGaussian {
+			est.DenseBytes *= 2
+		} else {
+			est.DenseBytes += n * int64(svd.DefaultSignNNZ) * 10
+		}
+	} else {
+		// Randomized SVD keeps ~5 dense n×k float64 matrices (O, Y, B, Z and
+		// a temporary).
+		k := cfg.Dim + cfg.Oversample
+		est.DenseBytes = n * int64(k) * 8 * 5
+	}
+	// Propagation keeps ~4 n×d in either mode.
 	if !cfg.SkipPropagation {
-		est.DenseBytes += int64(g.NumVertices()) * int64(cfg.Dim) * 8 * 4
+		est.DenseBytes += n * int64(cfg.Dim) * 8 * 4
 	}
 	return est, nil
 }

@@ -7,6 +7,7 @@ import (
 	"lightne/internal/graph"
 	"lightne/internal/netsmf"
 	"lightne/internal/sampler"
+	"lightne/internal/svd"
 )
 
 func TestEstimateMemoryBracketsReality(t *testing.T) {
@@ -274,5 +275,111 @@ func TestMaxAffordableSamples(t *testing.T) {
 	}
 	if _, err := MaxAffordableSamples(g, cfg, 0); err == nil {
 		t.Fatal("expected error for zero budget")
+	}
+}
+
+// TestEstimateMemorySketchStrictlyLower is an acceptance criterion of the
+// single-pass factorization: for the sparse-sign default at practical
+// dimensions, the planner must predict a strictly lower peak than the
+// multi-pass rSVD on the same graph and sample budget. The dense side drops
+// from five n×k iterate matrices to the two sketch accumulators (n×k plus
+// n×l) and the scaled sparsifier copy disappears entirely — the drained raw
+// CSR simply becomes StreamBytes instead of SparsifierBytes.
+func TestEstimateMemorySketchStrictlyLower(t *testing.T) {
+	g, _, err := gen.SBM(gen.SBMConfig{N: 2000, Communities: 8, PIn: 0.04, POut: 0.003, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range []int{16, 32, 128} {
+		cfg := DefaultConfig(d)
+		cfg.T = 5
+		cfg.SampleMultiple = 2
+		ref, err := EstimateMemory(g, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg.StreamedSVD = true
+		sk, err := EstimateMemory(g, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sk.Total() >= ref.Total() {
+			t.Fatalf("d=%d: sketch total %d not strictly below rSVD total %d", d, sk.Total(), ref.Total())
+		}
+		if sk.SparsifierBytes != 0 {
+			t.Fatalf("d=%d: sketch mode must not materialize the sparsifier, got %d bytes", d, sk.SparsifierBytes)
+		}
+		if sk.StreamBytes != ref.SparsifierBytes {
+			t.Fatalf("d=%d: StreamBytes %d should equal the raw CSR the rSVD plan calls SparsifierBytes (%d)",
+				d, sk.StreamBytes, ref.SparsifierBytes)
+		}
+		if sk.DenseBytes >= ref.DenseBytes {
+			t.Fatalf("d=%d: sketch dense %d not below rSVD dense %d", d, sk.DenseBytes, ref.DenseBytes)
+		}
+	}
+}
+
+// TestMaxAffordableSamplesGrowsInSketchMode: the planning payoff — under the
+// same byte budget, the smaller sketch-mode footprint affords strictly more
+// PathSampling trials, which is what buys embedding quality (§5.2.4).
+func TestMaxAffordableSamplesGrowsInSketchMode(t *testing.T) {
+	g, _, err := gen.SBM(gen.SBMConfig{N: 2000, Communities: 8, PIn: 0.04, POut: 0.003, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig(32)
+	cfg.T = 5
+	// Budget exactly what the sketch plan needs for half a million samples:
+	// sketch mode then affords at least that many, while the rSVD plan —
+	// strictly more bytes at every M — cannot reach it.
+	const pivot = 500_000
+	scfg := cfg
+	scfg.StreamedSVD = true
+	scfg.M = pivot
+	at, err := EstimateMemory(g, scfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	budget := at.Total()
+	mRef, err := MaxAffordableSamples(g, cfg, budget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scfg.M = 0
+	mSketch, err := MaxAffordableSamples(g, scfg, budget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mSketch < pivot {
+		t.Fatalf("sketch mode affords %d samples, should cover the %d its own plan was budgeted for", mSketch, pivot)
+	}
+	if mSketch <= mRef {
+		t.Fatalf("sketch mode affords %d samples, rSVD mode %d — expected strictly more", mSketch, mRef)
+	}
+}
+
+// TestEstimateMemoryGaussianPricesHigherThanSign pins the honest accounting
+// for the dense cross-check kind: Gaussian test matrices double the
+// accumulator-width allocation, so the planner must charge the Gaussian
+// sketch more than the sparse-sign default.
+func TestEstimateMemoryGaussianPricesHigherThanSign(t *testing.T) {
+	g, _, err := gen.SBM(gen.SBMConfig{N: 1500, Communities: 6, PIn: 0.05, POut: 0.003, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig(32)
+	cfg.T = 5
+	cfg.StreamedSVD = true
+	sign, err := EstimateMemory(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Sketch = svd.SketchGaussian
+	gauss, err := EstimateMemory(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gauss.DenseBytes <= sign.DenseBytes {
+		t.Fatalf("gaussian dense %d should exceed sign dense %d", gauss.DenseBytes, sign.DenseBytes)
 	}
 }

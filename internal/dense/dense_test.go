@@ -352,3 +352,101 @@ func TestMatMulAssociativityProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestMatMulATBDetMatchesNaive(t *testing.T) {
+	s := rng.New(17, 0)
+	for trial := 0; trial < 10; trial++ {
+		n, p, q := 1+s.Intn(300), 1+s.Intn(20), 1+s.Intn(20)
+		a := randomMatrix(n, p, uint64(trial))
+		b := randomMatrix(n, q, uint64(trial+500))
+		c := NewMatrix(p, q)
+		MatMulATBDet(c, a, b)
+		want := naiveMatMul(a.Transpose(), b)
+		if d := maxDiff(c, want); d > 1e-9 {
+			t.Fatalf("trial %d (%dx%d x %dx%d): max diff %g", trial, n, p, n, q, d)
+		}
+	}
+}
+
+// TestMatMulATBDetBitIdenticalAcrossWorkers pins the determinism contract:
+// the product is bitwise identical for every GOMAXPROCS, including sizes
+// that straddle the fixed block geometry.
+func TestMatMulATBDetBitIdenticalAcrossWorkers(t *testing.T) {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(0))
+	for _, n := range []int{1, 63, 64, 65, 1000, 4097} {
+		a := randomMatrix(n, 7, uint64(n))
+		b := randomMatrix(n, 5, uint64(n)+99)
+		var ref *Matrix
+		for _, procs := range []int{1, 2, 4} {
+			runtime.GOMAXPROCS(procs)
+			c := NewMatrix(7, 5)
+			MatMulATBDet(c, a, b)
+			if ref == nil {
+				ref = c
+				continue
+			}
+			for i := range c.Data {
+				if c.Data[i] != ref.Data[i] {
+					t.Fatalf("n=%d procs=%d: element %d differs: %v vs %v",
+						n, procs, i, c.Data[i], ref.Data[i])
+				}
+			}
+		}
+	}
+}
+
+func TestQRInPlaceMatchesQR(t *testing.T) {
+	for _, shape := range [][2]int{{1, 1}, {10, 3}, {200, 17}} {
+		a := randomMatrix(shape[0], shape[1], uint64(shape[0]))
+		q1, r1 := QR(a)
+		q2, r2 := QRInPlace(a.Clone())
+		if d := maxDiff(q1, q2); d != 0 {
+			t.Fatalf("%v: Q differs by %g", shape, d)
+		}
+		if d := maxDiff(r1, r2); d != 0 {
+			t.Fatalf("%v: R differs by %g", shape, d)
+		}
+	}
+}
+
+func TestSolveSquareRoundTrip(t *testing.T) {
+	s := rng.New(23, 0)
+	for trial := 0; trial < 10; trial++ {
+		k, q := 1+s.Intn(30), 1+s.Intn(10)
+		a := randomMatrix(k, k, uint64(trial+1))
+		// Push the diagonal away from singularity.
+		for i := 0; i < k; i++ {
+			a.Set(i, i, a.At(i, i)+float64(k))
+		}
+		want := randomMatrix(k, q, uint64(trial+900))
+		b := naiveMatMul(a, want)
+		got, err := SolveSquare(a, b)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if d := maxDiff(got, want); d > 1e-8 {
+			t.Fatalf("trial %d (k=%d q=%d): max diff %g", trial, k, q, d)
+		}
+	}
+}
+
+func TestSolveSquareNeedsPivoting(t *testing.T) {
+	// Zero in the (0,0) position: fails without row exchanges.
+	a := FromSlice(2, 2, []float64{0, 1, 1, 0})
+	b := FromSlice(2, 1, []float64{3, 7})
+	x, err := SolveSquare(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if x.At(0, 0) != 7 || x.At(1, 0) != 3 {
+		t.Fatalf("got %v", x.Data)
+	}
+}
+
+func TestSolveSquareSingular(t *testing.T) {
+	a := FromSlice(2, 2, []float64{1, 2, 2, 4})
+	b := NewMatrix(2, 1)
+	if _, err := SolveSquare(a, b); err == nil {
+		t.Fatal("expected an error for a singular system")
+	}
+}

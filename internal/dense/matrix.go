@@ -178,6 +178,82 @@ func MatMulATB(c, a, b *Matrix) {
 	}
 }
 
+// atbDetBlocks is the fixed row-partition width target for MatMulATBDet.
+// The block count is a pure function of the row count alone — never of
+// Workers() — so the partial-product geometry, and therefore the
+// floating-point combine order, is identical for every GOMAXPROCS.
+const atbDetBlocks = 64
+
+// MatMulATBDet computes C = Aᵀ·B like MatMulATB, but bit-deterministically
+// across worker counts: the shared row space is split into a fixed number of
+// blocks independent of GOMAXPROCS, each block accumulates its p×q partial
+// product sequentially, and the partials are folded by a fixed pairwise tree
+// (CombineTree). MatMulATB's dynamic chunk-to-worker assignment makes its
+// float summation order schedule-dependent; use this variant wherever the
+// product feeds a bit-reproducibility guarantee (the single-pass sketched
+// factorization does).
+func MatMulATBDet(c, a, b *Matrix) {
+	if a.Rows != b.Rows || c.Rows != a.Cols || c.Cols != b.Cols {
+		panic(fmt.Sprintf("dense: MatMulATBDet shape mismatch (%dx%d)ᵀ·(%dx%d)->(%dx%d)",
+			a.Rows, a.Cols, b.Rows, b.Cols, c.Rows, c.Cols))
+	}
+	n, p, q := a.Rows, a.Cols, b.Cols
+	if n == 0 || p == 0 || q == 0 {
+		c.Zero()
+		return
+	}
+	nb := atbDetBlocks
+	if nb > n {
+		nb = n
+	}
+	size := (n + nb - 1) / nb
+	nb = (n + size - 1) / size
+	partials := make([][]float64, nb)
+	par.For(nb, 1, func(bi int) {
+		lo := bi * size
+		hi := lo + size
+		if hi > n {
+			hi = n
+		}
+		acc := make([]float64, p*q)
+		for i := lo; i < hi; i++ {
+			ai, bi := a.Row(i), b.Row(i)
+			for k, aik := range ai {
+				if aik == 0 {
+					continue
+				}
+				row := acc[k*q : (k+1)*q]
+				for j, bij := range bi {
+					row[j] += aik * bij
+				}
+			}
+		}
+		partials[bi] = acc
+	})
+	CombineTree(partials)
+	copy(c.Data, partials[0])
+}
+
+// CombineTree folds equal-length partial-sum vectors pairwise: partials[i]
+// absorbs partials[i+stride] for stride = 1, 2, 4, …, leaving the total in
+// partials[0]. The pairing depends only on len(partials), so for a fixed
+// block geometry the float addition order — hence the result, bitwise — is
+// identical for every worker count.
+func CombineTree(partials [][]float64) {
+	for stride := 1; stride < len(partials); stride *= 2 {
+		pairs := make([]int, 0, (len(partials)+2*stride-1)/(2*stride))
+		for i := 0; i+stride < len(partials); i += 2 * stride {
+			pairs = append(pairs, i)
+		}
+		par.For(len(pairs), 1, func(pi int) {
+			dst, src := partials[pairs[pi]], partials[pairs[pi]+stride]
+			for j, v := range src {
+				dst[j] += v
+			}
+		})
+	}
+}
+
 // ColumnNorms returns the Euclidean norm of every column. Parallel
 // block-reduce over row blocks with per-block partial sum vectors combined
 // in block order, so the result is deterministic for a fixed geometry (it

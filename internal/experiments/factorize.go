@@ -1,0 +1,224 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"runtime"
+	"sync/atomic"
+	"time"
+
+	"lightne/internal/core"
+	"lightne/internal/gen"
+	"lightne/internal/svd"
+)
+
+// factorizeVariant is one row of the E14 comparison and one entry of
+// BENCH_factorize.json.
+type factorizeVariant struct {
+	Name string `json:"name"`
+	// SparsifierNs and SVDNs are the Timing breakdown; in sketch mode the
+	// sparsifier stage already includes streaming into the accumulators,
+	// so the split shifts but the pair stays comparable via TotalNs.
+	SparsifierNs int64 `json:"sparsifier_ns"`
+	SVDNs        int64 `json:"svd_ns"`
+	TotalNs      int64 `json:"total_ns"`
+	// PlannerTotalBytes is core.EstimateMemory's predicted peak;
+	// PlannerFactorizeBytes isolates the part the single-pass refactor
+	// changes (sparsifier/stream CSR + dense working set).
+	PlannerTotalBytes     int64 `json:"planner_total_bytes"`
+	PlannerFactorizeBytes int64 `json:"planner_factorize_bytes"`
+	// MeasuredHeapHighWaterBytes is the polled runtime.ReadMemStats
+	// HeapAlloc high-water mark over the run, minus the post-GC baseline
+	// before it started.
+	MeasuredHeapHighWaterBytes int64 `json:"measured_heap_high_water_bytes"`
+	// SigmaMaxRelErr is max_j |sigma_j - rsvd sigma_j| / rsvd sigma_0 over
+	// the leading third of the spectrum (zero for the rSVD baseline).
+	SigmaMaxRelErr float64 `json:"sigma_max_rel_err_vs_rsvd"`
+}
+
+type factorizeRecord struct {
+	GoMaxProcs      int                `json:"gomaxprocs"`
+	HardwareThreads int                `json:"hardware_threads"`
+	Vertices        int                `json:"vertices"`
+	Arcs            int64              `json:"arcs"`
+	Dim             int                `json:"dim"`
+	T               int                `json:"t"`
+	M               int64              `json:"m"`
+	Oversample      int                `json:"oversample"`
+	Variants        []factorizeVariant `json:"variants"`
+	Note            string             `json:"note"`
+}
+
+// factorizeFloorNote is the hardware caveat carried from ROADMAP: wall-clock
+// ratios recorded on this container are a floor, not the headline.
+const factorizeFloorNote = "measured on a 1-hardware-thread container (GOMAXPROCS inflates goroutines, not cores): " +
+	"wall-clock ratios are a floor — the sketch path's fused drain+transform+absorb and the rSVD's " +
+	"multiplies both scale with real cores; memory columns are hardware-independent"
+
+// measureHeapHighWater runs fn while polling the heap allocation high-water
+// mark, returning (high water − post-GC baseline). Polling undershoots
+// slightly between samples, which is fine: the comparison is rSVD vs sketch
+// under identical sampling.
+func measureHeapHighWater(fn func() error) (int64, error) {
+	runtime.GC()
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	base := ms.HeapAlloc
+
+	var peak atomic.Uint64
+	done := make(chan struct{})
+	go func() {
+		var pms runtime.MemStats
+		for {
+			select {
+			case <-done:
+				return
+			default:
+			}
+			runtime.ReadMemStats(&pms)
+			for {
+				cur := peak.Load()
+				if pms.HeapAlloc <= cur || peak.CompareAndSwap(cur, pms.HeapAlloc) {
+					break
+				}
+			}
+			time.Sleep(500 * time.Microsecond)
+		}
+	}()
+	err := fn()
+	close(done)
+	hw := int64(peak.Load()) - int64(base)
+	if hw < 0 {
+		hw = 0
+	}
+	return hw, err
+}
+
+// E14FactorizationModes benchmarks the single-pass sketched factorization
+// against the multi-pass randomized SVD on an RMAT graph: wall time, the
+// planner's predicted peak (total and the factorization slice the refactor
+// changes), the measured heap high-water mark, and spectrum agreement. The
+// sparse-sign sketch is the production default; the Gaussian kind is the
+// accuracy cross-check that deliberately spends the memory back.
+func E14FactorizationModes(opt Options) (*Report, error) {
+	start := time.Now()
+	scale, edgeFactor, dim, mult := 12, 16, 32, 4.0
+	if opt.Quick {
+		scale, edgeFactor, dim, mult = 10, 8, 16, 2.0
+	}
+	g, err := gen.RMAT(gen.RMATConfig{Scale: scale, EdgeFactor: edgeFactor, Seed: opt.Seed + 41})
+	if err != nil {
+		return nil, err
+	}
+
+	base := core.DefaultConfig(dim)
+	base.T = 5
+	base.SampleMultiple = mult
+	base.Oversample = 8
+	base.SkipPropagation = true // isolate sampling + factorization
+	base.Seed = opt.Seed + 42
+
+	variants := []struct {
+		name   string
+		mutate func(*core.Config)
+	}{
+		{"rsvd (multi-pass)", func(c *core.Config) {}},
+		{"sketch sign (single-pass)", func(c *core.Config) { c.StreamedSVD = true }},
+		{"sketch gaussian (single-pass)", func(c *core.Config) {
+			c.StreamedSVD = true
+			c.Sketch = svd.SketchGaussian
+		}},
+	}
+
+	rec := factorizeRecord{
+		GoMaxProcs:      runtime.GOMAXPROCS(0),
+		HardwareThreads: runtime.NumCPU(),
+		Vertices:        g.NumVertices(),
+		Arcs:            g.NumEdges(),
+		Dim:             dim,
+		T:               base.T,
+		Oversample:      base.Oversample,
+		Note:            factorizeFloorNote,
+	}
+	var rows [][]string
+	var refSigma []float64
+	for _, v := range variants {
+		cfg := base
+		v.mutate(&cfg)
+		est, err := core.EstimateMemory(g, cfg)
+		if err != nil {
+			return nil, err
+		}
+		rec.M = est.Trials
+		var res *core.Result
+		heap, err := measureHeapHighWater(func() error {
+			var e error
+			res, e = core.Embed(g, cfg)
+			return e
+		})
+		if err != nil {
+			return nil, err
+		}
+		relErr := 0.0
+		if refSigma == nil {
+			refSigma = res.Sigma
+		} else {
+			lead := len(refSigma) / 3
+			if lead < 2 {
+				lead = 2
+			}
+			for j := 0; j < lead && j < len(res.Sigma); j++ {
+				if rel := math.Abs(res.Sigma[j]-refSigma[j]) / refSigma[0]; rel > relErr {
+					relErr = rel
+				}
+			}
+		}
+		fact := est.SparsifierBytes + est.StreamBytes + est.DenseBytes
+		rec.Variants = append(rec.Variants, factorizeVariant{
+			Name:                       v.name,
+			SparsifierNs:               res.Timing.Sparsifier.Nanoseconds(),
+			SVDNs:                      res.Timing.SVD.Nanoseconds(),
+			TotalNs:                    res.Timing.Total().Nanoseconds(),
+			PlannerTotalBytes:          est.Total(),
+			PlannerFactorizeBytes:      fact,
+			MeasuredHeapHighWaterBytes: heap,
+			SigmaMaxRelErr:             relErr,
+		})
+		rows = append(rows, []string{
+			v.name,
+			dur(res.Timing.Total()),
+			fmt.Sprintf("%.1f MB", float64(est.Total())/1e6),
+			fmt.Sprintf("%.1f MB", float64(fact)/1e6),
+			fmt.Sprintf("%.1f MB", float64(heap)/1e6),
+			f(relErr),
+		})
+	}
+
+	if opt.FactorizeOut != "" {
+		buf, err := json.MarshalIndent(rec, "", "  ")
+		if err != nil {
+			return nil, err
+		}
+		if err := os.WriteFile(opt.FactorizeOut, append(buf, '\n'), 0o644); err != nil {
+			return nil, err
+		}
+	}
+
+	return &Report{
+		ID:    "E14",
+		Title: "Extension: single-pass sketched factorization vs multi-pass rSVD",
+		PaperRef: "paper §3.2/§5.3: the factorization's dense working set and the resident sparsifier bound " +
+			"the affordable sample count under the memory bottleneck; the single-pass sketch removes the " +
+			"scaled CSR and three of the five dense iterates",
+		Headers: []string{"factorization", "time", "planner total", "planner factorize", "measured heap HW", "sigma rel err"},
+		Rows:    rows,
+		Notes: []string{
+			fmt.Sprintf("RMAT scale %d (%d vertices, %d arcs), d=%d, M=%d; sigma rel err vs the rSVD baseline over the leading third",
+				scale, g.NumVertices(), g.NumEdges(), dim, rec.M),
+			factorizeFloorNote,
+		},
+		Elapsed: time.Since(start),
+	}, nil
+}

@@ -90,6 +90,10 @@ type Options struct {
 	// Quick shrinks sweeps and sample budgets (~10× cheaper) for smoke
 	// runs and testing.B integration.
 	Quick bool
+	// FactorizeOut, when non-empty, makes E14 write its machine-readable
+	// benchmark record (BENCH_factorize.json) to this path. Empty (the
+	// default, and what the test harness uses) writes nothing.
+	FactorizeOut string
 }
 
 // Runner maps experiment IDs to their functions.
@@ -112,12 +116,13 @@ func All() map[string]Runner {
 		"e11": E11DynamicEmbedding,
 		"e12": E12AggregationStrategies,
 		"e13": E13CompressionScaling,
+		"e14": E14FactorizationModes,
 	}
 }
 
 // Order lists experiment IDs in presentation order. E1-E10 regenerate the
-// paper's artifacts; E11-E12 are extension experiments (future work and
+// paper's artifacts; E11-E14 are extension experiments (future work and
 // design-space tables).
 func Order() []string {
-	return []string{"e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13"}
+	return []string{"e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14"}
 }

@@ -224,12 +224,15 @@ func (g *Graph) Strengths() []float64 {
 }
 
 // TotalWeight returns vol(G): the sum of all arc weights (NumEdges for
-// unweighted graphs).
+// unweighted graphs). The weighted sum uses the deterministic fixed-geometry
+// reduction so the volume — which scales every sparsifier entry — is
+// bit-identical across worker counts, keeping the weighted pipeline's
+// determinism contract intact end to end.
 func (g *Graph) TotalWeight() float64 {
 	if g.weights == nil {
 		return float64(g.NumEdges())
 	}
-	return par.ReduceFloat64(len(g.weights), 1<<14, func(i int) float64 { return g.weights[i] })
+	return par.ReduceFloat64Det(len(g.weights), func(i int) float64 { return g.weights[i] })
 }
 
 // weightedRandomNeighbor draws a neighbor of u proportionally to edge

@@ -27,6 +27,7 @@ package netsmf
 
 import (
 	"fmt"
+	"math"
 	"time"
 
 	"lightne/internal/dense"
@@ -69,6 +70,18 @@ type Config struct {
 	// sub-tables (see sampler.Config.Shards); <= 1 keeps one shared table.
 	// The sparsifier is bit-identical for every setting.
 	Shards int
+	// StreamedSVD replaces the two-pass randomized SVD with the single-pass
+	// sketched factorization: the drained sparsifier streams through the
+	// estimator scaling and truncated logarithm in bounded chunks directly
+	// into a sketch accumulator (svd.Sketch), so the scaled matrix — and in
+	// rSVD mode also its transpose — is never resident. Costs accuracy on
+	// slowly decaying spectra (no power iteration is possible in one pass;
+	// oversampling compensates), buys a strictly lower memory peak.
+	// PowerIters is ignored in this mode.
+	StreamedSVD bool
+	// Sketch selects the test-matrix family for StreamedSVD
+	// (svd.SketchSparseSign, the default, or svd.SketchGaussian).
+	Sketch svd.SketchKind
 }
 
 // MFromMultiple returns M = mult·T·m for a graph with m undirected edges
@@ -113,10 +126,27 @@ type Result struct {
 // accumulation is exact and commutative, and the fully-sorted drain is a pure
 // function of that multiset, the returned matrix is bit-identical for every
 // Shards setting and worker count (locked down by the determinism test). The
-// scaled matrix Run factorizes is NOT bit-stable across worker counts — the
-// vol(G) reduction is a parallel float sum — which is why this accessor stops
-// before scaling.
+// scaled matrix is bit-stable too: vol(G) is an exact integer for unweighted
+// graphs and a fixed-geometry deterministic reduction (par.ReduceFloat64Det)
+// for weighted ones, and the per-entry scaling and truncated logarithm are
+// pure functions of (entry, vol, degrees).
 func Sparsifier(g *graph.Graph, cfg Config) (*sparse.CSR, sampler.Stats, error) {
+	table, stats, err := sampleTable(g, cfg)
+	if err != nil {
+		return nil, stats, err
+	}
+	n := g.NumVertices()
+	rowPtr, cols, ws := table.DrainCSR(n)
+	mat, err := sparse.FromCSRParts(n, n, rowPtr, cols, ws)
+	if err != nil {
+		return nil, stats, fmt.Errorf("netsmf: building sparsifier: %w", err)
+	}
+	return mat, stats, nil
+}
+
+// sampleTable runs the sampling pass and returns the aggregation sink, shared
+// by the materializing (Sparsifier) and streaming (runStreamed) paths.
+func sampleTable(g *graph.Graph, cfg Config) (sampler.Sink, sampler.Stats, error) {
 	scfg := sampler.Config{
 		T:          cfg.T,
 		M:          cfg.M,
@@ -136,13 +166,7 @@ func Sparsifier(g *graph.Graph, cfg Config) (*sparse.CSR, sampler.Stats, error) 
 	if err != nil {
 		return nil, stats, fmt.Errorf("netsmf: sampling: %w", err)
 	}
-	n := g.NumVertices()
-	rowPtr, cols, ws := table.DrainCSR(n)
-	mat, err := sparse.FromCSRParts(n, n, rowPtr, cols, ws)
-	if err != nil {
-		return nil, stats, fmt.Errorf("netsmf: building sparsifier: %w", err)
-	}
-	return mat, stats, nil
+	return table, stats, nil
 }
 
 // Run executes the NetSMF stage on g.
@@ -154,6 +178,9 @@ func Run(g *graph.Graph, cfg Config) (*Result, error) {
 	if b <= 0 {
 		b = 1
 	}
+	if cfg.StreamedSVD {
+		return runStreamed(g, cfg, b)
+	}
 
 	start := time.Now()
 	raw, stats, err := Sparsifier(g, cfg)
@@ -164,10 +191,15 @@ func Run(g *graph.Graph, cfg Config) (*Result, error) {
 	sparsifierTime := time.Since(start)
 
 	start = time.Now()
+	// The sparsifier is exactly symmetric bitwise — every sample inserts in
+	// both orientations with the same fixed-point weight, and the estimator
+	// scaling is symmetric in (i, j) — so the SVD can reuse the matrix as its
+	// own transpose instead of materializing a second CSR.
 	res, err := svd.RandomizedSVD(mat, cfg.Dim, svd.Options{
 		Seed:       cfg.Seed + 1,
 		Oversample: cfg.Oversample,
 		PowerIters: cfg.PowerIters,
+		Symmetric:  true,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("netsmf: svd: %w", err)
@@ -179,6 +211,117 @@ func Run(g *graph.Graph, cfg Config) (*Result, error) {
 		Embedding:     x,
 		Sigma:         res.Sigma,
 		SparsifierNNZ: mat.NNZ(),
+		SampleStats:   stats,
+		Timing:        Timing{Sparsifier: sparsifierTime, SVD: svdTime},
+	}, nil
+}
+
+// streamChunkEntries caps the raw entries per streamed chunk: 2^20 entries is
+// ~12 MiB of drained CSR per buffer, big enough to amortize the per-chunk
+// sketch pass and small enough that the two in-flight transform buffers are
+// noise next to the sketch itself. The value never affects results — chunk
+// boundaries are whole rows (sampler.ChunkRows) and sketch absorption is
+// chunk-order-independent — so it is a constant, not a Config knob.
+const streamChunkEntries = 1 << 20
+
+// runStreamed is the single-pass path of Run: sample, drain, and stream the
+// rows through the estimator scaling and truncated logarithm straight into a
+// sketch accumulator, then factorize the sketch. The scaled sparsifier is
+// never materialized — the resident sparse state is the drained raw CSR plus
+// two bounded chunk buffers — and the dense working set is the sketch's
+// 3·n·k + Ω instead of the rSVD's 5·n·k.
+//
+// The transform of chunk c overlaps the sketch absorption of chunk c-1
+// through a two-deep buffer ring and a consumer goroutine, mirroring the
+// batched walker's wave pipeline. Determinism does not depend on that
+// overlap: chunks cover disjoint whole rows, per-row accumulation into the
+// sketch is sequential, and the chunk boundaries are a pure function of the
+// (deterministic) drained row pointers — so the embedding is bit-identical
+// across Shards, worker counts and wave sizes, locked down by the
+// determinism tests.
+func runStreamed(g *graph.Graph, cfg Config, b float64) (*Result, error) {
+	start := time.Now()
+	table, stats, err := sampleTable(g, cfg)
+	if err != nil {
+		return nil, err
+	}
+	n := g.NumVertices()
+	sk, err := svd.NewSketch(n, cfg.Dim, svd.SketchOptions{
+		Seed:       cfg.Seed + 1,
+		Kind:       cfg.Sketch,
+		Oversample: cfg.Oversample,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("netsmf: sketch: %w", err)
+	}
+
+	vol := g.Volume()
+	deg := g.Strengths()
+	scale := vol * vol / (2 * b * float64(stats.Trials))
+
+	type chunkBuf struct {
+		rowLo  int
+		rowPtr []int64
+		cols   []uint32
+		vals   []float64
+	}
+	free := make(chan *chunkBuf, 2)
+	free <- new(chunkBuf)
+	free <- new(chunkBuf)
+	work := make(chan *chunkBuf, 2)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for cb := range work {
+			sk.Absorb(svd.RowChunk{RowLo: cb.rowLo, RowPtr: cb.rowPtr, Cols: cb.cols, Vals: cb.vals})
+			free <- cb
+		}
+	}()
+
+	var kept int64
+	sampler.StreamCSR(table, n, streamChunkEntries, func(lo, hi int, rowPtr []int64, cols []uint32, ws []float64) {
+		cb := <-free
+		rows := hi - lo
+		if cap(cb.rowPtr) < rows+1 {
+			cb.rowPtr = make([]int64, rows+1)
+		}
+		cb.rowPtr = cb.rowPtr[:rows+1]
+		cb.cols = cb.cols[:0]
+		cb.vals = cb.vals[:0]
+		cb.rowLo = lo
+		cb.rowPtr[0] = 0
+		for r := lo; r < hi; r++ {
+			dr := deg[r]
+			for p := rowPtr[r]; p < rowPtr[r+1]; p++ {
+				c := cols[p]
+				// Unbiased estimator scaling followed by trunc_log: keep
+				// log(x) iff x > 1, exactly as sparse.TruncLog prunes.
+				if x := ws[p] * scale / (dr * deg[c]); x > 1 {
+					cb.cols = append(cb.cols, c)
+					cb.vals = append(cb.vals, math.Log(x))
+				}
+			}
+			cb.rowPtr[r-lo+1] = int64(len(cb.cols))
+		}
+		kept += cb.rowPtr[rows]
+		work <- cb
+	})
+	close(work)
+	<-done
+	sparsifierTime := time.Since(start)
+
+	start = time.Now()
+	res, err := sk.Factorize()
+	if err != nil {
+		return nil, fmt.Errorf("netsmf: sketch factorization: %w", err)
+	}
+	x := svd.EmbedFromSVD(res)
+	svdTime := time.Since(start)
+
+	return &Result{
+		Embedding:     x,
+		Sigma:         res.Sigma,
+		SparsifierNNZ: kept,
 		SampleStats:   stats,
 		Timing:        Timing{Sparsifier: sparsifierTime, SVD: svdTime},
 	}, nil

@@ -242,6 +242,64 @@ func ReduceFloat64(n, grain int, f func(i int) float64) float64 {
 	return s
 }
 
+// detBlocks is the fixed block count of the deterministic reduction. It is a
+// constant — never derived from Workers() — so the block geometry, and with it
+// every float rounding sequence, is a pure function of n.
+const detBlocks = 64
+
+// DetBounds returns the block boundaries of the deterministic reduction
+// geometry for n items: at most detBlocks contiguous blocks of equal ceiling
+// size. Unlike Blocks, the result depends only on n, never on GOMAXPROCS, so
+// algorithms that accumulate floats per block and combine block partials in a
+// fixed order produce bit-identical results for every worker count.
+func DetBounds(n int) []int {
+	if n <= 0 {
+		return []int{0}
+	}
+	nb := detBlocks
+	if nb > n {
+		nb = n
+	}
+	size := (n + nb - 1) / nb
+	nb = (n + size - 1) / size
+	bounds := make([]int, nb+1)
+	for b := 1; b < nb; b++ {
+		bounds[b] = b * size
+	}
+	bounds[nb] = n
+	return bounds
+}
+
+// ReduceFloat64Det computes the sum of f(i) for i in [0, n) with a result
+// that is bit-identical for every GOMAXPROCS: blocks come from DetBounds
+// (a pure function of n), each block sums sequentially, and the per-block
+// partials combine in a fixed pairwise tree. Use it wherever a float total
+// feeds a determinism contract — e.g. the weighted volume that scales the
+// sparsifier — and ReduceFloat64 (whose geometry tracks the worker count)
+// everywhere else.
+func ReduceFloat64Det(n int, f func(i int) float64) float64 {
+	if n <= 0 {
+		return 0
+	}
+	bounds := DetBounds(n)
+	nb := len(bounds) - 1
+	partial := make([]float64, nb)
+	ForBlocks(bounds, func(b, lo, hi int) {
+		var s float64
+		for i := lo; i < hi; i++ {
+			s += f(i)
+		}
+		partial[b] = s
+	})
+	// Fixed pairwise tree: pairing depends only on nb (hence only on n).
+	for stride := 1; stride < nb; stride *= 2 {
+		for lo := 0; lo+stride < nb; lo += 2 * stride {
+			partial[lo] += partial[lo+stride]
+		}
+	}
+	return partial[0]
+}
+
 // ReduceInt64 computes the sum of f(i) for i in [0, n) in parallel.
 func ReduceInt64(n, grain int, f func(i int) int64) int64 {
 	if n <= 0 {

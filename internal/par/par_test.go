@@ -352,3 +352,64 @@ func TestMaxFloat64MatchesSequential(t *testing.T) {
 		t.Fatalf("identity dominates: got %v want 42", got)
 	}
 }
+
+func TestDetBoundsPureFunctionOfN(t *testing.T) {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(0))
+	for _, n := range []int{0, 1, 63, 64, 65, 1000, 123457} {
+		runtime.GOMAXPROCS(1)
+		a := DetBounds(n)
+		runtime.GOMAXPROCS(4)
+		b := DetBounds(n)
+		if len(a) != len(b) {
+			t.Fatalf("n=%d: bounds depend on GOMAXPROCS", n)
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("n=%d: bounds depend on GOMAXPROCS at %d", n, i)
+			}
+		}
+		// Cover and order.
+		if a[0] != 0 || a[len(a)-1] != n && n > 0 {
+			t.Fatalf("n=%d: bad endpoints %v", n, a)
+		}
+		for i := 1; i < len(a); i++ {
+			if a[i] <= a[i-1] {
+				t.Fatalf("n=%d: non-increasing bounds %v", n, a)
+			}
+		}
+	}
+}
+
+func TestReduceFloat64DetBitIdenticalAcrossWorkers(t *testing.T) {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(0))
+	for _, n := range []int{1, 63, 64, 65, 1000, 123457} {
+		vals := make([]float64, n)
+		s := uint64(12345)
+		for i := range vals {
+			s = s*6364136223846793005 + 1442695040888963407
+			vals[i] = float64(int64(s>>20)) * 1e-9
+		}
+		var ref float64
+		first := true
+		for _, procs := range []int{1, 2, 4} {
+			runtime.GOMAXPROCS(procs)
+			got := ReduceFloat64Det(n, func(i int) float64 { return vals[i] })
+			if first {
+				ref = got
+				first = false
+				continue
+			}
+			if got != ref {
+				t.Fatalf("n=%d procs=%d: %v != %v", n, procs, got, ref)
+			}
+		}
+		// Sanity: close to the sequential sum.
+		var seq float64
+		for _, v := range vals {
+			seq += v
+		}
+		if math.Abs(ref-seq) > 1e-6*math.Abs(seq)+1e-12 {
+			t.Fatalf("n=%d: det sum %v far from sequential %v", n, ref, seq)
+		}
+	}
+}

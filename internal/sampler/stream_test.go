@@ -1,0 +1,102 @@
+package sampler
+
+import (
+	"math"
+	"testing"
+
+	"lightne/internal/hashtable"
+)
+
+// streamFixture fills a table with a deterministic scatter of keys including
+// empty rows, a heavy row, and duplicate accumulation.
+func streamFixture(t *testing.T, n int) *hashtable.Table {
+	t.Helper()
+	tab := hashtable.New(1 << 10)
+	s := uint64(99)
+	for i := 0; i < 5000; i++ {
+		s = s*6364136223846793005 + 1442695040888963407
+		u := uint32(s>>40) % uint32(n)
+		v := uint32(s>>8) % uint32(n)
+		if i%7 == 0 {
+			u = 3 // heavy row
+		}
+		tab.AddFixed(uint64(u)<<32|uint64(v), (s%1000)+1)
+	}
+	return tab
+}
+
+func TestChunkRowsBoundaries(t *testing.T) {
+	// Rows with entry counts 3, 0, 5, 10, 1, 0.
+	rowPtr := []int64{0, 3, 3, 8, 18, 19, 19}
+	for _, tc := range []struct {
+		max  int64
+		want []int
+	}{
+		{1 << 30, []int{0, 6}},       // everything fits in one chunk
+		{8, []int{0, 3, 4, 6}},       // rows {0,1,2}, oversized {3}, {4,5}
+		{1, []int{0, 1, 2, 3, 4, 6}}, // row-at-a-time; only trailing empty row 5 merges
+		{0, []int{0, 1, 2, 3, 4, 6}}, // max < 1 clamps to 1
+		{3, []int{0, 2, 3, 4, 6}},    // row 0 + empty row 1, then {2}, {3}, {4,5}
+	} {
+		got := ChunkRows(rowPtr, tc.max)
+		if len(got) != len(tc.want) {
+			t.Fatalf("max=%d: bounds %v want %v", tc.max, got, tc.want)
+		}
+		for i := range got {
+			if got[i] != tc.want[i] {
+				t.Fatalf("max=%d: bounds %v want %v", tc.max, got, tc.want)
+			}
+		}
+		// Every chunk respects the cap unless it is a single oversized row.
+		max := tc.max
+		if max < 1 {
+			max = 1
+		}
+		for c := 0; c+1 < len(got); c++ {
+			lo, hi := got[c], got[c+1]
+			if n := rowPtr[hi] - rowPtr[lo]; n > max && hi-lo > 1 {
+				t.Fatalf("max=%d: chunk [%d,%d) holds %d entries", tc.max, lo, hi, n)
+			}
+		}
+	}
+	if got := ChunkRows([]int64{0}, 4); len(got) != 1 || got[0] != 0 {
+		t.Fatalf("empty matrix bounds %v", got)
+	}
+}
+
+// TestStreamCSREquivalence pins the streaming contract: for every chunk size
+// the concatenation of emitted chunks is exactly the DrainCSR output, chunks
+// arrive in row order, and the total matches.
+func TestStreamCSREquivalence(t *testing.T) {
+	const n = 64
+	wantRowPtr, wantCols, wantWs := streamFixture(t, n).DrainCSR(n)
+
+	for _, max := range []int64{1, 13, 100, 1 << 40} {
+		tab := streamFixture(t, n)
+		nextRow := 0
+		var seen int64
+		total := StreamCSR(tab, n, max, func(lo, hi int, rowPtr []int64, cols []uint32, ws []float64) {
+			if lo != nextRow {
+				t.Fatalf("max=%d: chunk starts at %d, want %d", max, lo, nextRow)
+			}
+			nextRow = hi
+			for r := lo; r <= hi; r++ {
+				if rowPtr[r] != wantRowPtr[r] {
+					t.Fatalf("max=%d: rowPtr[%d] differs", max, r)
+				}
+			}
+			for p := rowPtr[lo]; p < rowPtr[hi]; p++ {
+				if cols[p] != wantCols[p] || math.Float64bits(ws[p]) != math.Float64bits(wantWs[p]) {
+					t.Fatalf("max=%d: entry %d differs", max, p)
+				}
+			}
+			seen += rowPtr[hi] - rowPtr[lo]
+		})
+		if nextRow != n {
+			t.Fatalf("max=%d: chunks stopped at row %d", max, nextRow)
+		}
+		if total != wantRowPtr[n] || seen != total {
+			t.Fatalf("max=%d: total %d seen %d want %d", max, total, seen, wantRowPtr[n])
+		}
+	}
+}

@@ -23,6 +23,7 @@ import (
 	"math"
 
 	"lightne/internal/dense"
+	"lightne/internal/par"
 	"lightne/internal/sparse"
 )
 
@@ -36,6 +37,15 @@ type Options struct {
 	// PowerIters applies (A·Aᵀ)^q to the sketch before projecting, sharpening
 	// the subspace when the spectrum decays slowly. 0 follows the paper.
 	PowerIters int
+	// Symmetric declares A = Aᵀ, letting every Aᵀ product reuse A instead of
+	// materializing a.Transpose() — this halves the resident CSR memory. The
+	// trunc-logged NetMF sparsifier qualifies exactly: both orientations of a
+	// sample accumulate the identical fixed-point weight and the estimator
+	// scaling is symmetric in (i, j), so its sorted CSR transposes to itself
+	// bitwise and the result is bit-identical with the option on or off
+	// (TestRandomizedSVDSymmetricEquivalence). Setting it for a matrix that
+	// is not exactly symmetric silently computes the wrong factorization.
+	Symmetric bool
 }
 
 // Result holds a truncated SVD A ≈ U·diag(Sigma)·Vᵀ.
@@ -67,7 +77,10 @@ func RandomizedSVD(a *sparse.CSR, d int, opt Options) (*Result, error) {
 		k = n
 	}
 
-	at := a.Transpose()
+	at := a
+	if !opt.Symmetric {
+		at = a.Transpose()
+	}
 
 	// Step 1: Gaussian sketches.
 	o := dense.NewMatrix(n, k)
@@ -122,29 +135,35 @@ func RandomizedSVD(a *sparse.CSR, d int, opt Options) (*Result, error) {
 }
 
 // truncateCols returns the first d columns of m (copying when d < m.Cols).
+// Row-parallel: each row is one contiguous copy.
 func truncateCols(m *dense.Matrix, d int) *dense.Matrix {
 	if d == m.Cols {
 		return m
 	}
 	out := dense.NewMatrix(m.Rows, d)
-	for i := 0; i < m.Rows; i++ {
+	par.For(m.Rows, 256, func(i int) {
 		copy(out.Row(i), m.Row(i)[:d])
-	}
+	})
 	return out
 }
 
 // EmbedFromSVD converts an SVD result into the embedding X = U·Σ^{1/2}
-// used by NetSMF and LightNE (paper §3.2).
+// used by NetSMF and LightNE (paper §3.2). Row-parallel over contiguous row
+// slices with the square roots hoisted; per-element work is independent, so
+// the output is bit-identical to the sequential scaling.
 func EmbedFromSVD(r *Result) *dense.Matrix {
-	x := r.U.Clone()
+	roots := make([]float64, len(r.Sigma))
 	for j, s := range r.Sigma {
-		root := 0.0
 		if s > 0 {
-			root = math.Sqrt(s)
-		}
-		for i := 0; i < x.Rows; i++ {
-			x.Set(i, j, x.At(i, j)*root)
+			roots[j] = math.Sqrt(s)
 		}
 	}
+	x := r.U.Clone()
+	par.For(x.Rows, 256, func(i int) {
+		row := x.Row(i)
+		for j := range row {
+			row[j] *= roots[j]
+		}
+	})
 	return x
 }

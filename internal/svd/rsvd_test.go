@@ -30,7 +30,9 @@ func lowRankSparse(n, r int, seed uint64) (*sparse.CSR, *dense.Matrix) {
 				if vec[j] == 0 {
 					continue
 				}
-				d.Set(i, j, d.At(i, j)+scale*vec[i]*vec[j])
+				// Parenthesized so the entry is bitwise symmetric in (i, j),
+				// like the trunc-logged sparsifier the Symmetric option targets.
+				d.Set(i, j, d.At(i, j)+scale*(vec[i]*vec[j]))
 			}
 		}
 	}

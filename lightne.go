@@ -28,6 +28,7 @@ import (
 	"lightne/internal/netsmf"
 	"lightne/internal/prone"
 	"lightne/internal/quant"
+	"lightne/internal/svd"
 )
 
 // Graph is an immutable CSR graph (optionally Ligra+ compressed).
@@ -55,6 +56,19 @@ type Timing = core.Timing
 
 // PropagationConfig parameterizes the spectral-propagation step.
 type PropagationConfig = prone.PropagationConfig
+
+// SketchKind selects the test-matrix family of the single-pass sketched
+// factorization (Config.StreamedSVD).
+type SketchKind = svd.SketchKind
+
+const (
+	// SketchSparseSign is the memory-optimal default: a handful of ±1
+	// entries per row of each test matrix.
+	SketchSparseSign = svd.SketchSparseSign
+	// SketchGaussian is the dense accuracy cross-check; it costs two extra
+	// n-row dense matrices.
+	SketchGaussian = svd.SketchGaussian
+)
 
 // DefaultGraphOptions returns the embedding pipelines' graph options:
 // symmetrized, self-loop-free, deduplicated.
